@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrate hot paths (pytest-benchmark native).
+
+Not a paper table; tracks the cost of the operations the eDKM pipeline
+leans on: dense map construction, uniquification, packing, and the
+marshaling graph walk.
+"""
+
+import numpy as np
+
+import repro.tensor as rt
+from repro.core.dkm import DKMClusterer
+from repro.core import DKMConfig
+from repro.core.palettize import pack_indices
+from repro.core.uniquify import attention_table, uniquify
+from repro.tensor.dtype import bfloat16
+
+
+def _weights(n=1 << 16, seed=0):
+    values = (np.random.default_rng(seed).standard_normal(n) * 0.05).astype(np.float32)
+    return bfloat16.project(values)
+
+
+def test_uniquify_speed(benchmark):
+    weights = _weights()
+    result = benchmark(uniquify, weights, bfloat16)
+    assert result.n_unique > 0
+
+
+def test_attention_table_speed(benchmark):
+    unique = uniquify(_weights(), bfloat16)
+    centroids = np.linspace(-0.15, 0.15, 8).astype(np.float32)
+    table = benchmark(attention_table, unique.values, centroids, 1e-3)
+    assert table.shape[1] == 8
+
+
+def test_dense_map_speed(benchmark):
+    """The O(|W|·|C|) computation eDKM avoids (reference cost)."""
+    weights = _weights(1 << 14)
+    centroids = np.linspace(-0.15, 0.15, 8).astype(np.float32)
+
+    def dense():
+        diff = weights[:, None] - centroids[None, :]
+        logits = -(diff**2) / 1e-3
+        logits -= logits.max(axis=1, keepdims=True)
+        e = np.exp(logits)
+        return e / e.sum(axis=1, keepdims=True)
+
+    assert benchmark(dense).shape == (1 << 14, 8)
+
+
+def test_pack_indices_speed(benchmark):
+    indices = np.random.default_rng(0).integers(0, 8, 1 << 16).astype(np.uint8)
+    packed = benchmark(pack_indices, indices, 3)
+    assert packed.size == (1 << 16) * 3 // 8
+
+
+def test_dkm_refine_speed(benchmark):
+    w = rt.Tensor.from_numpy(_weights(), dtype="bfloat16", device="gpu")
+
+    def refine():
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=5))
+        return clusterer.refine(w)
+
+    state = benchmark(refine)
+    assert state.centroids.shape == (8,)
+
+
+def test_matmul_speed(benchmark):
+    rt.manual_seed(0)
+    a = rt.randn(128, 128, device="gpu")
+    b = rt.randn(128, 128, device="gpu")
+    out = benchmark(lambda: a @ b)
+    assert out.shape == (128, 128)
+
+
+def test_marshal_graph_walk_speed(benchmark):
+    from repro.core.marshal import MarshalRegistry, OffloadEntry
+
+    registry = MarshalRegistry()
+    x0 = rt.randn(64, 64, device="gpu", requires_grad=True)
+    # Keep every view alive so the 4-hop walk has live endpoints.
+    v1 = x0.view(-1)
+    v2 = v1.view(64, 64)
+    v3 = v2.transpose(0, 1)
+    host = rt.Tensor.from_numpy(x0.numpy().reshape(-1), device="cpu")
+    registry.register(x0, OffloadEntry(host, x0.storage, x0.device))
+
+    result = benchmark(registry.find, v3, 4, "graph")
+    assert result[0] is not None
+    assert result[1] == 3  # hops

@@ -1,0 +1,75 @@
+"""Regenerates paper Fig. 2: marshaling removes cross-device duplicates.
+
+The Table 1 scenario as autograd saved tensors: without marshaling three
+4 MB host copies are made (x0 saved twice plus the view x1); with marshaling
+one copy plus two references.  Includes the hop-budget ablation (the paper
+found 4 hops sufficient; this workload needs 1) and the storage-id oracle.
+"""
+
+from repro.bench import run_fig2, run_hop_budget_sweep
+from repro.bench.tables import render_table
+
+from conftest import emit
+
+
+def test_fig2_marshaling(benchmark, results_dir):
+    def run_both():
+        return run_fig2(marshal=False), run_fig2(marshal=True)
+
+    base, marshal = benchmark.pedantic(run_both, rounds=3, iterations=1)
+
+    rendered = render_table(
+        ["config", "CPU peak (MB)", "offload traffic (MB)", "copies", "avoided", "hits by hop"],
+        [
+            ["no marshaling", base.cpu_peak_mb, base.offload_traffic_mb,
+             base.copies_made, base.copies_avoided, str(base.hops_histogram)],
+            ["with marshaling", marshal.cpu_peak_mb, marshal.offload_traffic_mb,
+             marshal.copies_made, marshal.copies_avoided, str(marshal.hops_histogram)],
+        ],
+        title="Fig. 2: cross-device tensor marshaling (x0, x1 = x0.view scenario)",
+    )
+    emit(results_dir, "fig2", rendered)
+
+    assert marshal.cpu_peak_mb < base.cpu_peak_mb
+    assert marshal.offload_traffic_mb < base.offload_traffic_mb
+    assert marshal.copies_avoided == 2
+
+
+def test_fig2_hop_budget_ablation(benchmark, results_dir):
+    budgets = (0, 1, 2, 4, 6)
+    sweep = benchmark.pedantic(
+        run_hop_budget_sweep, args=(budgets,), rounds=1, iterations=1
+    )
+    rendered = render_table(
+        ["hop budget", "CPU peak (MB)", "copies avoided", "hits by hop"],
+        [
+            [b, r.cpu_peak_mb, r.copies_avoided, str(r.hops_histogram)]
+            for b, r in zip(budgets, sweep)
+        ],
+        title="Fig. 2 ablation: graph-walk hop budget (paper: 4 suffices)",
+    )
+    emit(results_dir, "fig2_hops", rendered)
+
+    # Budget 0 misses the view-chain case; budget >= 1 is converged here.
+    assert sweep[0].copies_avoided < sweep[1].copies_avoided
+    assert sweep[1].cpu_peak_mb == sweep[-1].cpu_peak_mb
+
+
+def test_fig2_lookup_strategy(benchmark, results_dir):
+    def run():
+        return (
+            run_fig2(marshal=True, strategy="graph"),
+            run_fig2(marshal=True, strategy="storage-id"),
+        )
+
+    graph, oracle = benchmark.pedantic(run, rounds=3, iterations=1)
+    rendered = render_table(
+        ["strategy", "CPU peak (MB)", "copies avoided"],
+        [
+            ["graph walk (paper)", graph.cpu_peak_mb, graph.copies_avoided],
+            ["storage-id oracle", oracle.cpu_peak_mb, oracle.copies_avoided],
+        ],
+        title="Fig. 2 ablation: lookup strategy",
+    )
+    emit(results_dir, "fig2_strategy", rendered)
+    assert graph.copies_avoided == oracle.copies_avoided

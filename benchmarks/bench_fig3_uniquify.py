@@ -1,0 +1,60 @@
+"""Regenerates paper Fig. 3: uniquification + sharding of the attention map.
+
+Reports the exact byte arithmetic of the decomposition on a realistic
+bf16 weight tensor, verifies the reconstruction is bit-exact, and ablates
+the 16-bit pattern dtype (bf16 vs fp16) and the learner count.
+"""
+
+from repro.bench import run_dtype_sweep, run_fig3
+from repro.bench.tables import render_table
+
+from conftest import emit
+
+
+def test_fig3_uniquify_and_shard(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_fig3, kwargs=dict(n_weights=1 << 18, bits=3, n_learners=8),
+        rounds=1, iterations=1,
+    )
+    rendered = render_table(
+        ["quantity", "value"],
+        [
+            ["|W| weights", result.n_weights],
+            ["unique 16-bit patterns u", result.n_unique],
+            ["|C| centroids", result.n_clusters],
+            ["dense attention map (bytes)", result.dense_map_bytes],
+            ["attention table (bytes)", result.table_bytes],
+            ["index list (bytes)", result.index_bytes],
+            ["index list / learner, |L|=8 (bytes)", result.index_bytes_per_learner],
+            ["U reduction (map -> table+index)", f"{result.uniquify_reduction:.1f}x"],
+            ["U+S per-learner reduction", f"{result.total_reduction_per_learner:.1f}x"],
+            ["reconstruction bit-exact", result.reconstruction_exact],
+        ],
+        title="Fig. 3: attention-map decomposition (bf16 weights, 3-bit clustering)",
+    )
+    emit(results_dir, "fig3", rendered)
+
+    assert result.reconstruction_exact
+    assert result.n_unique <= 1 << 16
+    assert result.uniquify_reduction > 5
+    assert result.total_reduction_per_learner > result.uniquify_reduction
+
+
+def test_fig3_pattern_dtype_ablation(benchmark, results_dir):
+    sweep = benchmark.pedantic(
+        run_dtype_sweep, kwargs=dict(n_weights=1 << 18), rounds=1, iterations=1
+    )
+    rendered = render_table(
+        ["pattern dtype", "unique patterns", "table bytes", "U reduction"],
+        [
+            [name, r.n_unique, r.table_bytes, f"{r.uniquify_reduction:.1f}x"]
+            for name, r in sweep.items()
+        ],
+        title="Fig. 3 ablation: uniquification key dtype (both bounded by 2^16)",
+    )
+    emit(results_dir, "fig3_dtype", rendered)
+    for r in sweep.values():
+        assert r.n_unique <= 1 << 16
+        assert r.reconstruction_exact
+    # bf16 has fewer mantissa bits than fp16 -> fewer distinct patterns.
+    assert sweep["bfloat16"].n_unique <= sweep["float16"].n_unique

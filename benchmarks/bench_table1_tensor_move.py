@@ -1,0 +1,29 @@
+"""Regenerates paper Table 1: cross-device copies duplicate storage.
+
+Expected to match the paper byte-for-byte (it is an arithmetic property of
+the storage model): GPU stays at 4 MB through the view; CPU grows 0 -> 4 ->
+8 MB across the two ``.to('cpu')`` calls.
+"""
+
+from repro.bench import PAPER_TABLE1, run_table1
+from repro.bench.tables import render_table
+
+from conftest import emit
+
+
+def test_table1_tensor_move(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+
+    rendered = render_table(
+        ["line", "code", "GPU (MB)", "CPU (MB)", "paper GPU", "paper CPU"],
+        [
+            [r.line, r.code, r.gpu_mb, r.cpu_mb, p[1], p[2]]
+            for r, p in zip(rows, PAPER_TABLE1)
+        ],
+        title="Table 1: memory footprint of cross-device tensor moves",
+    )
+    emit(results_dir, "table1", rendered)
+
+    for row, (line, gpu_mb, cpu_mb) in zip(rows, PAPER_TABLE1):
+        assert row.gpu_mb == gpu_mb, f"line {line}: GPU {row.gpu_mb} != {gpu_mb}"
+        assert row.cpu_mb == cpu_mb, f"line {line}: CPU {row.cpu_mb} != {cpu_mb}"

@@ -1,0 +1,160 @@
+"""Regenerates paper Table 2: the M/U/S memory-footprint ablation.
+
+Workload: one DKM-compressed attention layer (dimension-scaled from the
+LLaMA-7B layer the paper uses), forward + backward with saved tensors
+overflowing to the CPU.  Paper reference (MB, reduction, runtime s):
+
+    baseline 1600  1.0x   8.67      M+S     97  16.4x  15.9
+    M         544  2.9x   8.97      M+U+S   12 129.9x  14.9
+    M+U        68 23.5x   9.5
+
+Absolute MBs differ (scaled workload); the *reductions* are the claim.
+Also includes the learner-count and bit-width sweeps called out in
+DESIGN.md, and the factorized-backward extension ablation.
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_TABLE2, run_learner_sweep, run_table2
+from repro.bench.tables import render_table
+
+from conftest import emit
+
+MB = 1024 * 1024
+
+
+def test_table2_mus_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(dim=256, n_heads=8, seq_len=16, bits=3, iters=3, n_learners=8),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for row in result.rows:
+        paper_mb, paper_red, paper_rt = PAPER_TABLE2[row.name]
+        rows.append(
+            [
+                row.name,
+                row.cpu_peak_mb,
+                f"{result.reduction(row):.1f}x",
+                row.runtime_s,
+                f"{result.slowdown(row):.2f}x",
+                row.copies_avoided,
+                row.tensors_sharded,
+                f"{paper_red}x",
+            ]
+        )
+    rendered = render_table(
+        ["config", "CPU peak (MB)", "reduction", "runtime (s)", "rel. runtime",
+         "dedup hits", "sharded", "paper reduction"],
+        rows,
+        title="Table 2: eDKM ablation (one attention layer, 3-bit, |L|=8)",
+        float_fmt="{:.2f}",
+    )
+    emit(results_dir, "table2", rendered)
+
+    by_name = {r.name: r for r in result.rows}
+    # Shape assertions mirroring the paper's ordering.
+    assert result.reduction(by_name["M"]) > 1.5
+    assert result.reduction(by_name["M+U"]) > 10
+    assert result.reduction(by_name["M+S"]) > 5
+    assert result.reduction(by_name["M+U+S"]) > 100
+    assert by_name["M+U+S"].cpu_peak_bytes == min(
+        r.cpu_peak_bytes for r in result.rows
+    )
+    # M+U beats M+S here as in the paper (23.5x vs 16.4x).
+    assert by_name["M+U"].cpu_peak_bytes < by_name["M+S"].cpu_peak_bytes
+
+
+def test_table2_learner_sweep(benchmark, results_dir):
+    sweep = benchmark.pedantic(
+        run_learner_sweep,
+        kwargs=dict(n_learners_options=(1, 2, 4, 8), dim=256, seq_len=16),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    reductions = {}
+    for n, result in sweep.items():
+        full = result.rows[1]
+        reductions[n] = result.reduction(full)
+        rows.append([n, full.cpu_peak_mb, f"{reductions[n]:.1f}x"])
+    rendered = render_table(
+        ["learners |L|", "M+U+S CPU peak (MB)", "reduction vs baseline"],
+        rows,
+        title="Table 2 ablation: sharding benefit vs learner count",
+        float_fmt="{:.3f}",
+    )
+    emit(results_dir, "table2_learners", rendered)
+    assert reductions[8] > reductions[2] > reductions[1] * 0.9
+
+
+def test_table2_bits_sweep(benchmark, results_dir):
+    def run():
+        from repro.bench import run_bits_sweep
+
+        return run_bits_sweep(bits_options=(2, 3, 4), dim=192, seq_len=16)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for bits, result in sweep.items():
+        base = result.rows[0]
+        full = result.rows[-1]
+        rows.append(
+            [bits, 2**bits, base.cpu_peak_mb, full.cpu_peak_mb,
+             f"{result.reduction(full):.1f}x"]
+        )
+    rendered = render_table(
+        ["bits", "|C|", "baseline (MB)", "M+U+S (MB)", "reduction"],
+        rows,
+        title="Table 2 ablation: bit width (map scales with 2^bits)",
+        float_fmt="{:.3f}",
+    )
+    emit(results_dir, "table2_bits", rendered)
+    baselines = [sweep[b].rows[0].cpu_peak_bytes for b in (2, 3, 4)]
+    # The dense map grows with the codebook.
+    assert baselines[0] < baselines[1] < baselines[2]
+
+
+def test_backward_mode_ablation(benchmark, results_dir):
+    """Extension: paper-faithful map reconstruction vs factorized backward."""
+    import time
+
+    import repro.tensor as rt
+    from repro.core import DKMConfig
+    from repro.core.dkm import DKMClusterer
+    from repro.core.edkm import edkm_cluster
+
+    values = (np.random.default_rng(0).standard_normal(1 << 16) * 0.05).astype(
+        np.float32
+    )
+
+    def run_mode(reconstruct):
+        w = rt.Tensor.from_numpy(
+            values, dtype="bfloat16", device="gpu", requires_grad=True
+        )
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=2))
+        start = time.perf_counter()
+        out = edkm_cluster(w, clusterer, reconstruct_backward=reconstruct)
+        (out * out).sum().backward()
+        return time.perf_counter() - start, w.grad.numpy()
+
+    def run_both():
+        return run_mode(True), run_mode(False)
+
+    (t_recon, g_recon), (t_fact, g_fact) = benchmark.pedantic(
+        run_both, rounds=3, iterations=1
+    )
+    rendered = render_table(
+        ["backward mode", "fwd+bwd time (s)", "max |grad diff|"],
+        [
+            ["reconstruct dense map (paper)", t_recon, 0.0],
+            ["factorized unique-space (ext.)", t_fact,
+             float(np.abs(g_recon - g_fact).max())],
+        ],
+        title="Extension ablation: eDKM backward implementation",
+        float_fmt="{:.4f}",
+    )
+    emit(results_dir, "backward_mode", rendered)
+    assert np.allclose(g_recon, g_fact, atol=1e-4 * max(np.abs(g_recon).max(), 1))

@@ -1,0 +1,105 @@
+"""Regenerates paper Table 3: accuracy of compressed LLaMA models.
+
+Full end-to-end run at substrate scale: pre-train the MICRO model on the
+synthetic world, apply each compression scheme, score the seven suites.
+The absolute accuracies belong to the synthetic world; the paper's claims
+are the *relative* ones asserted at the bottom:
+
+- eDKM 3-bit >= the 3-bit uniform baselines on mean accuracy;
+- eDKM 3-bit within a few points of fp16;
+- 4-bit schemes sit close to fp16, 3-bit uniform schemes degrade;
+- eDKM has the smallest model size (asserted in bench_claims_analytic).
+
+This is the slowest benchmark (several minutes: one pre-train plus two
+compression fine-tunes and nine evaluation sweeps).
+"""
+
+from repro.bench import PAPER_TABLE3, SUITE_ORDER, Table3Harness
+from repro.bench.tables import render_table
+
+from conftest import emit
+
+_PAPER_KEYS = {
+    "LLaMA (fp16)": "fp16",
+    "RTN": None,  # bits-dependent, resolved below
+    "GPTQ": None,
+    "AWQ": None,
+    "LLM-QAT": "llmqat4",
+    "eDKM": "edkm3",
+}
+
+_COLUMNS = ["piqa", "hellaswag", "winogrande", "arc_e", "arc_c", "triviaqa", "mmlu"]
+
+
+def _paper_row(method: str, bits: int):
+    key = {
+        ("LLaMA (fp16)", 16): "fp16",
+        ("RTN", 4): "rtn4",
+        ("GPTQ", 4): "gptq4",
+        ("AWQ", 4): "awq4",
+        ("LLM-QAT", 4): "llmqat4",
+        ("GPTQ", 3): "gptq3",
+        ("AWQ", 3): "awq3",
+        ("eDKM", 3): "edkm3",
+    }.get((method, bits))
+    return PAPER_TABLE3.get(key) if key else None
+
+
+def test_table3_accuracy(benchmark, results_dir):
+    harness = Table3Harness(n_items=25)
+
+    def run_all():
+        rows = [harness.run_fp16()]
+        rows.append(harness.run_rtn(4))
+        rows.append(harness.run_gptq(4))
+        rows.append(harness.run_awq(4))
+        rows.append(harness.run_llm_qat(4))
+        rows.append(harness.run_gptq(3))
+        rows.append(harness.run_awq(3))
+        rows.append(harness.run_edkm(3))
+        rows.append(harness.run_rtn(3))  # extra row: 3-bit RTN reference
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table_rows = []
+    for row in rows:
+        accs = row.accuracies()
+        table_rows.append(
+            [row.method, row.bits, row.size_gb] + accs + [row.mean_accuracy]
+        )
+    rendered = render_table(
+        ["method", "bits", "size (GB)"] + SUITE_ORDER + ["mean"],
+        table_rows,
+        title="Table 3: accuracy of compressed models (synthetic suites, MICRO scale)",
+    )
+
+    # Paper-vs-measured appendix for rows the paper reports.
+    lines = [rendered, "", "paper reference rows (percent):"]
+    for row in rows:
+        paper = _paper_row(row.method, row.bits)
+        if paper is None:
+            continue
+        cells = "  ".join(
+            f"{col}={paper[col]!s:>5}" for col in _COLUMNS
+        )
+        lines.append(f"  {row.method:<12} {row.bits}bit  {cells}")
+    emit(results_dir, "table3", "\n".join(lines))
+
+    by_key = {(r.method, r.bits): r for r in rows}
+    fp16 = by_key[("LLaMA (fp16)", 16)]
+    edkm3 = by_key[("eDKM", 3)]
+    gptq3 = by_key[("GPTQ", 3)]
+    awq3 = by_key[("AWQ", 3)]
+    rtn3 = by_key[("RTN", 3)]
+    rtn4 = by_key[("RTN", 4)]
+
+    # Paper claim 1: eDKM-3bit outperforms the other 3-bit schemes.
+    assert edkm3.mean_accuracy >= gptq3.mean_accuracy - 1.0
+    assert edkm3.mean_accuracy >= awq3.mean_accuracy - 1.0
+    assert edkm3.mean_accuracy >= rtn3.mean_accuracy - 1.0
+    # Paper claim 2: eDKM-3bit is close to the fp16 source model.
+    assert edkm3.mean_accuracy >= fp16.mean_accuracy - 8.0
+    # Paper shape: 4-bit RTN is mild; the fp16 model is clearly above chance.
+    assert rtn4.mean_accuracy >= fp16.mean_accuracy - 8.0
+    assert fp16.mean_accuracy > 60.0

@@ -1,0 +1,28 @@
+"""Benchmark-suite config: src-layout imports and a results directory.
+
+Every benchmark renders a paper-style table and writes it under
+``benchmarks/results/`` so the numbers survive the pytest run (captured
+stdout is otherwise only shown on failure).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    print(f"\n{text}\n")
+    with open(os.path.join(results_dir, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,6 @@
+"""Repo-level pytest config: make src-layout imports work uninstalled."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

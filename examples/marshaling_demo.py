@@ -1,0 +1,57 @@
+"""Cross-device tensor marshaling, from first principles.
+
+Recreates the paper's Table 1 and Fig. 2 step by step:
+
+1. Table 1 -- a view is free on GPU (shared storage) but each ``.to('cpu')``
+   allocates a fresh host storage, so the CPU ends up holding the same data
+   twice;
+2. Fig. 2  -- the marshaling layer interposes on saved-tensor offloads,
+   walks the forward graph through view-type ops (<= 4 hops), and replaces
+   the duplicate copy with a reference plus the view-replay metadata.
+
+Run:  python examples/marshaling_demo.py
+"""
+
+from repro.bench import run_fig2, run_table1
+from repro.bench.tables import render_table
+
+
+def main() -> None:
+    print("--- Table 1: what cross-device moves cost ---")
+    rows = run_table1()
+    print(render_table(
+        ["line", "code", "GPU (MB)", "CPU (MB)"],
+        [[r.line, r.code, r.gpu_mb, r.cpu_mb] for r in rows],
+    ))
+    print(
+        "\nLines 0-1: the view shares the GPU storage, so GPU stays at 4 MB."
+        "\nLines 2-3: each .to('cpu') materializes its own host storage --"
+        "\n8 MB on CPU for 4 MB of distinct data.  That redundancy, repeated"
+        "\nacross a training step's saved tensors, is what marshaling removes."
+    )
+
+    print("\n--- Fig. 2: the marshaling layer at work ---")
+    base = run_fig2(marshal=False)
+    marshal = run_fig2(marshal=True)
+    print(render_table(
+        ["config", "CPU peak (MB)", "GPU->CPU traffic (MB)",
+         "copies", "refs (avoided)", "hits by hop distance"],
+        [
+            ["offload only", base.cpu_peak_mb, base.offload_traffic_mb,
+             base.copies_made, base.copies_avoided, str(base.hops_histogram)],
+            ["offload + marshaling", marshal.cpu_peak_mb,
+             marshal.offload_traffic_mb, marshal.copies_made,
+             marshal.copies_avoided, str(marshal.hops_histogram)],
+        ],
+    ))
+    print(
+        "\nThe 0-hop hit is a tensor saved twice by the same graph; the"
+        "\n1-hop hit is the view x1 resolved to x0's existing host copy by"
+        "\nwalking one View edge in the forward graph -- exactly Fig. 2(b):"
+        "\nthe reference is stored together with the ops needed to rebuild"
+        "\nthe view at unpack time."
+    )
+
+
+if __name__ == "__main__":
+    main()

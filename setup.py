@@ -1,0 +1,9 @@
+"""Legacy build shim: this offline environment lacks the ``wheel`` package,
+so editable installs must go through ``setup.py develop``
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""eDKM: memory-efficient train-time weight clustering for LLMs.
+
+Reproduction of Cho et al., "eDKM: An Efficient and Accurate Train-time
+Weight Clustering for Large Language Models" (HPCA 2025 / arXiv:2309.00964).
+
+Quickstart::
+
+    import repro
+    from repro.core import DKMConfig, EDKMConfig, ModelCompressor, SavedTensorPipeline
+    from repro.distributed import LearnerGroup
+
+    model = ...                       # a repro.nn model on repro.tensor.GPU
+    compressor = ModelCompressor(DKMConfig(bits=3))
+    compressor.compress(model)        # Linears now re-cluster every forward
+
+    pipeline = SavedTensorPipeline(
+        EDKMConfig(group=LearnerGroup(8))
+    )
+    with pipeline.step():             # saved tensors offloaded + marshaled
+        loss = ...; loss.backward()   # + uniquified + sharded (M/U/S)
+
+Subpackages: ``tensor`` (autograd substrate), ``memory`` (byte accounting),
+``nn``/``optim`` (model library), ``distributed`` (learner simulation),
+``core`` (DKM + eDKM), ``baselines`` (RTN/GPTQ/AWQ/SmoothQuant/LLM-QAT),
+``llm``/``data``/``evalsuite`` (end-to-end experiments), ``bench``
+(table/figure regeneration).
+"""
+
+__version__ = "1.0.0"
+
+from repro import (  # noqa: F401
+    baselines,
+    core,
+    data,
+    distributed,
+    evalsuite,
+    llm,
+    memory,
+    nn,
+    optim,
+    tensor,
+)
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "core",
+    "data",
+    "distributed",
+    "evalsuite",
+    "llm",
+    "memory",
+    "nn",
+    "optim",
+    "tensor",
+]

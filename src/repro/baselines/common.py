@@ -1,0 +1,114 @@
+"""Shared uniform-quantization machinery for the baseline compressors.
+
+Weights are laid out ``(out_features, in_features)`` (rows are output
+channels).  Grids can be per-tensor, per-channel (one scale per row), or
+group-wise along the input dimension (one scale per ``group_size`` columns
+of a row -- the "g128" of GPTQ/AWQ rows in Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class QuantizedWeight:
+    """Integer codes plus the affine grid to reconstruct values."""
+
+    codes: np.ndarray  # int32, same shape as weight
+    scales: np.ndarray  # broadcastable to weight
+    zeros: np.ndarray  # broadcastable to weight (integer zero points)
+    bits: int
+    symmetric: bool
+
+    def dequantize(self) -> np.ndarray:
+        return ((self.codes - self.zeros) * self.scales).astype(np.float32)
+
+
+def _grid_minmax(
+    w: np.ndarray, bits: int, symmetric: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scales and zero points for the last axis of ``w`` (reduced)."""
+    qmax = 2**bits - 1
+    if symmetric:
+        # Signed symmetric grid: codes in [-(2^{b-1}-1), 2^{b-1}-1].
+        limit = 2 ** (bits - 1) - 1
+        absmax = np.abs(w).max(axis=-1, keepdims=True)
+        scales = np.maximum(absmax / max(limit, 1), 1e-12)
+        zeros = np.zeros_like(scales)
+        return scales, zeros
+    lo = w.min(axis=-1, keepdims=True)
+    hi = w.max(axis=-1, keepdims=True)
+    scales = np.maximum((hi - lo) / qmax, 1e-12)
+    zeros = np.round(-lo / scales)
+    return scales, zeros
+
+
+def quantize_uniform(
+    weight: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+    group_size: int | None = None,
+    per_channel: bool = True,
+) -> QuantizedWeight:
+    """Round-to-nearest onto a uniform grid.
+
+    ``group_size`` groups columns within each row; ``per_channel`` without a
+    group size gives one grid per row; neither gives a per-tensor grid.
+    """
+    w = np.asarray(weight, dtype=np.float32)
+    if w.ndim != 2:
+        raise ValueError(f"expected 2-D weight, got shape {w.shape}")
+    rows, cols = w.shape
+
+    if group_size is not None:
+        if cols % group_size != 0:
+            raise ValueError(
+                f"in_features {cols} not divisible by group size {group_size}"
+            )
+        grouped = w.reshape(rows, cols // group_size, group_size)
+        scales, zeros = _grid_minmax(grouped, bits, symmetric)
+    elif per_channel:
+        grouped = w.reshape(rows, 1, cols)
+        scales, zeros = _grid_minmax(grouped, bits, symmetric)
+    else:
+        grouped = w.reshape(1, 1, rows * cols)
+        scales, zeros = _grid_minmax(grouped, bits, symmetric)
+
+    if symmetric:
+        limit = 2 ** (bits - 1) - 1
+        codes = np.clip(np.round(grouped / scales), -limit, limit)
+    else:
+        qmax = 2**bits - 1
+        codes = np.clip(np.round(grouped / scales + zeros), 0, qmax)
+
+    shape = grouped.shape
+    return QuantizedWeight(
+        codes=codes.astype(np.int32).reshape(shape),
+        scales=scales,
+        zeros=zeros,
+        bits=bits,
+        symmetric=symmetric,
+    )
+
+
+def fake_quantize(
+    weight: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+    group_size: int | None = None,
+    per_channel: bool = True,
+) -> np.ndarray:
+    """Quantize-dequantize: the weight projected onto its uniform grid."""
+    w = np.asarray(weight, dtype=np.float32)
+    q = quantize_uniform(
+        w, bits, symmetric=symmetric, group_size=group_size, per_channel=per_channel
+    )
+    return q.dequantize().reshape(w.shape)
+
+
+def quantization_mse(weight: np.ndarray, reconstructed: np.ndarray) -> float:
+    w = np.asarray(weight, dtype=np.float32)
+    return float(np.mean((w - reconstructed) ** 2))

@@ -1,0 +1,47 @@
+"""Round-to-nearest (RTN) post-training quantization.
+
+The simplest Table 3 baseline: project every Linear weight onto a
+per-channel uniform grid, no calibration data, no error compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.common import fake_quantize, quantization_mse
+from repro.nn import Linear, Module
+
+
+@dataclass
+class RTNReport:
+    bits: int
+    layer_mse: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_mse(self) -> float:
+        return sum(self.layer_mse.values()) / max(len(self.layer_mse), 1)
+
+
+def quantize_model_rtn(
+    model: Module,
+    bits: int,
+    symmetric: bool = True,
+    per_channel: bool = True,
+    skip_names: tuple[str, ...] = (),
+) -> RTNReport:
+    """Quantize every Linear weight in place; returns per-layer MSE."""
+    report = RTNReport(bits=bits)
+    for name, module in model.named_modules():
+        if not isinstance(module, Linear):
+            continue
+        if any(name.startswith(skip) for skip in skip_names):
+            continue
+        original = module.weight._compute()
+        projected = fake_quantize(
+            original, bits, symmetric=symmetric, per_channel=per_channel
+        )
+        module.weight.copy_(projected)
+        report.layer_mse[name] = quantization_mse(original, projected)
+    if not report.layer_mse:
+        raise ValueError("no Linear layers found to quantize")
+    return report

@@ -1,0 +1,187 @@
+"""Experiment: paper Table 2 -- the M/U/S ablation.
+
+Workload: one multi-head attention layer (the paper uses one from the
+LLaMA-7B decoder stack; ours is dimension-scaled) whose four projection
+weights are re-clustered by DKM at 3 bits on every forward.  Saved tensors
+overflow from "gpu" to "cpu" through the eDKM pipeline; we measure the CPU
+peak of learner 0 across forward+backward, wall-clock time, and offload
+traffic, under the five paper configurations:
+
+    baseline offload / M / M+U / M+S / M+U+S  (|L| = 8 learners)
+
+Paper reference numbers (memory MB, reduction, runtime s):
+    1600, 1.0x, 8.67 | 544, 2.9x, 8.97 | 68, 23.5x, 9.5 |
+    97, 16.4x, 15.9  | 12, 129.9x, 14.9
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compressor import ClusteredLinear
+from repro.core.config import DKMConfig, EDKMConfig
+from repro.core.offload import SavedTensorPipeline
+from repro.distributed import LearnerGroup
+from repro.memory import global_ledger, profile_memory
+from repro.nn import MultiHeadAttention
+from repro.tensor import manual_seed
+from repro.tensor.device import CPU, GPU
+from repro.tensor.tensor import Tensor
+
+MB = 1024 * 1024
+
+
+@dataclass
+class Table2Row:
+    name: str
+    marshal: bool
+    uniquify: bool
+    shard: bool
+    cpu_peak_bytes: int
+    runtime_s: float
+    offload_traffic_bytes: int
+    copies_made: int
+    copies_avoided: int
+    tensors_sharded: int
+
+    @property
+    def cpu_peak_mb(self) -> float:
+        return self.cpu_peak_bytes / MB
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row]
+
+    def reduction(self, row: Table2Row) -> float:
+        base = self.rows[0].cpu_peak_bytes
+        return base / max(row.cpu_peak_bytes, 1)
+
+    def slowdown(self, row: Table2Row) -> float:
+        base = self.rows[0].runtime_s
+        return row.runtime_s / max(base, 1e-9)
+
+
+PAPER_TABLE2 = {
+    "baseline": (1600.0, 1.0, 8.67),
+    "M": (544.0, 2.9, 8.97),
+    "M+U": (68.0, 23.5, 9.5),
+    "M+S": (97.0, 16.4, 15.9),
+    "M+U+S": (12.0, 129.9, 14.9),
+}
+
+
+def _build_workload(
+    dim: int, n_heads: int, seq_len: int, bits: int, iters: int, uniquify: bool
+):
+    manual_seed(0)
+    rng = np.random.default_rng(0)
+    attention = MultiHeadAttention(dim=dim, n_heads=n_heads, max_seq_len=seq_len, rng=rng)
+    attention.to(GPU)
+    dkm = DKMConfig(bits=bits, iters=iters)
+    for name in ("q_proj", "k_proj", "v_proj", "o_proj"):
+        setattr(
+            attention,
+            name,
+            ClusteredLinear(getattr(attention, name), dkm, uniquify_enabled=uniquify),
+        )
+    x = Tensor.from_numpy(
+        rng.standard_normal((1, seq_len, dim)).astype(np.float32), device=GPU
+    )
+    return attention, x
+
+
+def _run_config(
+    name: str,
+    config: EDKMConfig,
+    uniquify: bool,
+    dim: int,
+    n_heads: int,
+    seq_len: int,
+    bits: int,
+    iters: int,
+) -> Table2Row:
+    attention, x = _build_workload(dim, n_heads, seq_len, bits, iters, uniquify)
+    pipeline = SavedTensorPipeline(config)
+    start = time.perf_counter()
+    with profile_memory([CPU.tracker], global_ledger()) as prof:
+        with pipeline.step():
+            out = attention(x)
+            (out * out).sum().backward()
+    runtime = time.perf_counter() - start
+    return Table2Row(
+        name=name,
+        marshal=config.marshal,
+        uniquify=uniquify,
+        shard=config.shard,
+        cpu_peak_bytes=prof.peak_delta("cpu"),
+        runtime_s=runtime,
+        offload_traffic_bytes=prof.traffic("gpu", "cpu"),
+        copies_made=pipeline.stats.copies_made,
+        copies_avoided=pipeline.stats.copies_avoided,
+        tensors_sharded=pipeline.stats.tensors_sharded,
+    )
+
+
+def run_table2(
+    dim: int = 256,
+    n_heads: int = 8,
+    seq_len: int = 16,
+    bits: int = 3,
+    iters: int = 3,
+    n_learners: int = 8,
+) -> Table2Result:
+    """The five-row ablation at a CPU-friendly scale."""
+    group = LearnerGroup(n_learners)
+    configs = [
+        ("baseline", EDKMConfig.baseline_offload(), False),
+        ("M", EDKMConfig(marshal=True, uniquify=False, shard=False, group=None), False),
+        ("M+U", EDKMConfig(marshal=True, uniquify=True, shard=False, group=None), True),
+        ("M+S", EDKMConfig(marshal=True, uniquify=False, shard=True, group=group), False),
+        ("M+U+S", EDKMConfig(marshal=True, uniquify=True, shard=True, group=group), True),
+    ]
+    rows = [
+        _run_config(name, config, uniq, dim, n_heads, seq_len, bits, iters)
+        for name, config, uniq in configs
+    ]
+    return Table2Result(rows=rows)
+
+
+def run_learner_sweep(
+    n_learners_options: tuple[int, ...] = (1, 2, 4, 8),
+    dim: int = 256,
+    seq_len: int = 16,
+) -> dict[int, Table2Result]:
+    """Ablation: sharding benefit vs learner count (design choice sweep)."""
+    results = {}
+    for n in n_learners_options:
+        group = LearnerGroup(n)
+        rows = [
+            _run_config(
+                "baseline", EDKMConfig.baseline_offload(), False, dim, 8, seq_len, 3, 3
+            ),
+            _run_config(
+                f"M+U+S|L={n}",
+                EDKMConfig(marshal=True, uniquify=True, shard=True, group=group),
+                True,
+                dim,
+                8,
+                seq_len,
+                3,
+                3,
+            ),
+        ]
+        results[n] = Table2Result(rows=rows)
+    return results
+
+
+def run_bits_sweep(
+    bits_options: tuple[int, ...] = (2, 3, 4), dim: int = 256, seq_len: int = 16
+) -> dict[int, Table2Result]:
+    """Ablation: map size scales with 2**bits; U's win is bits-independent."""
+    return {
+        b: run_table2(dim=dim, seq_len=seq_len, bits=b) for b in bits_options
+    }

@@ -1,0 +1,79 @@
+"""eDKM core: differentiable weight clustering plus the memory pipeline.
+
+Public surface:
+
+- :class:`DKMConfig` / :class:`EDKMConfig` -- algorithm and memory-pipeline
+  configuration (the M/U/S toggles of the paper's Table 2).
+- :class:`DKMClusterer` -- differentiable k-means with the dense (original
+  DKM) assignment path.
+- :func:`edkm_cluster` / :class:`EDKMClusterAssign` -- the memory-efficient
+  unique-space assignment (paper Section 2.2).
+- :class:`SavedTensorPipeline` -- saved-tensor offloading with cross-device
+  marshaling and sharding (paper Section 2.1).
+- :class:`ModelCompressor` / :class:`ClusteredLinear` -- model-level
+  train-time compression and palettization.
+"""
+
+from repro.core.config import DKMConfig, EDKMConfig, PipelineStats
+from repro.core.compressor import (
+    ClusteredLinear,
+    CompressionReport,
+    ModelCompressor,
+    dequantized_state,
+)
+from repro.core.dkm import (
+    ClusterState,
+    DKMClusterer,
+    default_temperature,
+    init_centroids_quantile,
+)
+from repro.core.edkm import EDKMClusterAssign, cluster, edkm_cluster
+from repro.core.marshal import MarshalRegistry, OffloadEntry
+from repro.core.offload import SavedPayload, SavedTensorPipeline
+from repro.core.palettize import (
+    PalettizedTensor,
+    kmeans_palettize,
+    pack_indices,
+    unpack_indices,
+)
+from repro.core.uniquify import (
+    MAX_UNIQUE_16BIT,
+    UniquifiedWeights,
+    attention_table,
+    dense_attention_map,
+    index_dtype_for,
+    reconstruct_attention_map,
+    uniquify,
+)
+
+__all__ = [
+    "DKMConfig",
+    "EDKMConfig",
+    "PipelineStats",
+    "ClusteredLinear",
+    "CompressionReport",
+    "ModelCompressor",
+    "dequantized_state",
+    "ClusterState",
+    "DKMClusterer",
+    "default_temperature",
+    "init_centroids_quantile",
+    "EDKMClusterAssign",
+    "cluster",
+    "edkm_cluster",
+    "MarshalRegistry",
+    "OffloadEntry",
+    "SavedPayload",
+    "SavedTensorPipeline",
+    "PalettizedTensor",
+    "kmeans_palettize",
+    "pack_indices",
+    "unpack_indices",
+    "MAX_UNIQUE_16BIT",
+    "UniquifiedWeights",
+    "attention_table",
+    "dense_attention_map",
+    "index_dtype_for",
+    "reconstruct_attention_map",
+    "uniquify",
+]

@@ -1,0 +1,211 @@
+"""Model-level train-time compression.
+
+``ClusteredLinear`` wraps a Linear so that every forward re-clusters its
+weight through DKM/eDKM -- the train-time weight clustering the paper
+fine-tunes with.  ``ModelCompressor`` swaps the wrappers into a model,
+coordinates the shared :class:`~repro.core.offload.SavedTensorPipeline`,
+and finalizes the fine-tuned model into palettized artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DKMConfig, EDKMConfig
+from repro.core.dkm import DKMClusterer
+from repro.core.edkm import cluster
+from repro.core.palettize import PalettizedTensor, kmeans_palettize
+from repro.nn.linear import Embedding, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class ClusteredLinear(Module):
+    """A Linear whose weight passes through differentiable clustering.
+
+    The underlying fp weight remains the trainable parameter; the matmul
+    consumes its clustered reconstruction, so gradients shape both the
+    weights and (through the soft assignment) the clustering.
+    """
+
+    def __init__(
+        self,
+        inner: Linear,
+        dkm_config: DKMConfig,
+        uniquify_enabled: bool = True,
+        reconstruct_backward: bool = True,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.dkm_config = dkm_config
+        self.uniquify_enabled = uniquify_enabled
+        self.reconstruct_backward = reconstruct_backward
+        self.clusterer = DKMClusterer(dkm_config)
+        # Clustering keys on 16-bit patterns: keep the master weight in the
+        # configured 16-bit training dtype (paper: bfloat16).
+        if inner.weight.dtype is not dkm_config.weight_dtype:
+            inner.weight.copy_(inner.weight.numpy())  # re-projects in place
+            inner.weight.storage = _reproject_storage(
+                inner.weight, dkm_config.weight_dtype
+            )
+            inner.weight.dtype = dkm_config.weight_dtype
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            clustered = cluster(
+                self.inner.weight,
+                self.clusterer,
+                uniquify_enabled=self.uniquify_enabled,
+                reconstruct_backward=self.reconstruct_backward,
+            )
+        else:
+            # Eval mode: hard palettized weights (deployment behavior).
+            clustered = self._hard_weight()
+        out = x @ clustered.T
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+    def train(self, mode: bool = True) -> "ClusteredLinear":
+        # Weights only change while training; drop the eval cache on any
+        # mode change so eval always sees the latest clustering.
+        object.__setattr__(self, "_hard_cache", None)
+        super().train(mode)
+        return self
+
+    def _hard_weight(self) -> Tensor:
+        from repro.tensor.autograd import no_grad
+
+        cached = getattr(self, "_hard_cache", None)
+        if cached is not None:
+            return cached
+        with no_grad():
+            state = self.clusterer.refine(self.inner.weight)
+            assignments = self.clusterer.hard_assign(self.inner.weight)
+            values = state.centroids[assignments].reshape(self.inner.weight.shape)
+            hard = Tensor.from_numpy(
+                values, dtype=self.inner.weight.dtype, device=self.inner.weight.device
+            )
+        object.__setattr__(self, "_hard_cache", hard)
+        return hard
+
+    def palettize(self) -> PalettizedTensor:
+        """Freeze the clustering into a deployable LUT + indices artifact."""
+        state = self.clusterer.refine(self.inner.weight)
+        assignments = self.clusterer.hard_assign(self.inner.weight)
+        return PalettizedTensor.from_assignments(
+            state.centroids,
+            assignments,
+            self.dkm_config.bits,
+            tuple(self.inner.weight.shape),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusteredLinear({self.inner!r}, bits={self.dkm_config.bits}, "
+            f"uniquify={self.uniquify_enabled})"
+        )
+
+
+def _reproject_storage(param, dtype):
+    from repro.tensor.storage import Storage
+
+    return Storage.from_values(param._compute(), dtype, param.device)
+
+
+@dataclass
+class CompressionReport:
+    """Sizes of the palettized model."""
+
+    palettized: dict[str, PalettizedTensor] = field(default_factory=dict)
+    uncompressed: dict[str, int] = field(default_factory=dict)  # name -> bytes kept
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.nbytes for p in self.palettized.values()) + sum(
+            self.uncompressed.values()
+        )
+
+    def summary(self) -> str:
+        lines = [f"{'tensor':<40} {'bits/w':>8} {'bytes':>12}"]
+        for name, p in sorted(self.palettized.items()):
+            lines.append(f"{name:<40} {p.bits_per_weight:>8.2f} {p.nbytes:>12}")
+        for name, nbytes in sorted(self.uncompressed.items()):
+            lines.append(f"{name:<40} {'16.00':>8} {nbytes:>12}")
+        lines.append(f"{'TOTAL':<40} {'':>8} {self.total_bytes:>12}")
+        return "\n".join(lines)
+
+
+class ModelCompressor:
+    """Wraps a model's Linears with DKM clustering; finalizes to palettes.
+
+    Embeddings are palettized post-training at ``embedding_bits`` (paper:
+    "we also compressed the embedding layers with 8 bits"); norms and biases
+    stay in 16-bit.
+    """
+
+    def __init__(
+        self,
+        dkm_config: DKMConfig,
+        edkm_config: EDKMConfig | None = None,
+        embedding_bits: int = 8,
+        skip_names: tuple[str, ...] = (),
+    ) -> None:
+        self.dkm_config = dkm_config
+        self.edkm_config = edkm_config or EDKMConfig(
+            offload=False, marshal=False, uniquify=True, shard=False, group=None
+        )
+        self.embedding_bits = embedding_bits
+        self.skip_names = skip_names
+        self.wrapped: dict[str, ClusteredLinear] = {}
+
+    def compress(self, model: Module) -> Module:
+        """Replace every target Linear in ``model`` with a ClusteredLinear."""
+        self._wrap_children(model, prefix="")
+        if not self.wrapped:
+            raise ValueError("no Linear layers found to compress")
+        return model
+
+    def _wrap_children(self, module: Module, prefix: str) -> None:
+        for name, child in list(module._modules.items()):
+            full_name = f"{prefix}{name}"
+            if any(full_name.startswith(skip) for skip in self.skip_names):
+                continue
+            if isinstance(child, Linear):
+                wrapper = ClusteredLinear(
+                    child,
+                    self.dkm_config,
+                    uniquify_enabled=self.edkm_config.uniquify,
+                )
+                setattr(module, name, wrapper)
+                self.wrapped[full_name] = wrapper
+            else:
+                self._wrap_children(child, prefix=f"{full_name}.")
+
+    def finalize(self, model: Module) -> CompressionReport:
+        """Palettize all clustered layers and embeddings; report sizes."""
+        report = CompressionReport()
+        for name, wrapper in self.wrapped.items():
+            report.palettized[name] = wrapper.palettize()
+        for name, module in model.named_modules():
+            if isinstance(module, Embedding):
+                report.palettized[f"{name}.weight"] = kmeans_palettize(
+                    module.weight._compute(), self.embedding_bits
+                )
+            elif hasattr(module, "weight") and not isinstance(
+                module, (Linear, ClusteredLinear, Embedding)
+            ):
+                weight = getattr(module, "weight", None)
+                if isinstance(weight, Tensor):
+                    report.uncompressed[f"{name}.weight"] = 2 * weight.numel
+        for name, wrapper in self.wrapped.items():
+            if wrapper.inner.bias is not None:
+                report.uncompressed[f"{name}.bias"] = 2 * wrapper.inner.bias.numel
+        return report
+
+
+def dequantized_state(report: CompressionReport) -> dict[str, np.ndarray]:
+    """Materialize fp32 weights from a compression report (for evaluation)."""
+    return {name: p.dequantize() for name, p in report.palettized.items()}

@@ -1,0 +1,108 @@
+"""Configuration objects for DKM and the eDKM memory pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.learner import LearnerGroup
+from repro.tensor.device import CPU, GPU, Device
+from repro.tensor.dtype import DType, bfloat16
+
+
+@dataclass
+class DKMConfig:
+    """Differentiable k-means clustering hyper-parameters.
+
+    Attributes:
+        bits: codebook size is ``2**bits`` centroids (paper: 3- and 4-bit).
+        temperature: softmax temperature for the weight-centroid attention;
+            smaller is harder assignment.  ``None`` (default) picks an
+            adaptive per-tensor temperature from the weight spread.
+        iters: maximum k-means refinement iterations per forward.
+        tol: early-stop threshold on centroid movement.
+        weight_dtype: 16-bit dtype weights are clustered in (uniquification
+            keys on its bit patterns; paper fine-tunes in bfloat16).
+    """
+
+    bits: int = 3
+    temperature: float | None = None
+    iters: int = 5
+    tol: float = 1e-8
+    weight_dtype: DType = bfloat16
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 8:
+            raise ValueError(f"bits must be in [1, 8], got {self.bits}")
+        if self.temperature is not None and self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.iters < 1:
+            raise ValueError("need at least one k-means iteration")
+
+    @property
+    def n_clusters(self) -> int:
+        return 2**self.bits
+
+
+@dataclass
+class EDKMConfig:
+    """The eDKM memory pipeline: which of M / U / S are enabled.
+
+    Mirrors the toggles of the paper's Table 2 ablation:
+
+    - ``offload``: overflow saved tensors from GPU to CPU at all (the
+      baseline the paper starts from; disabling it keeps everything on GPU).
+    - ``marshal`` (M): cross-device tensor marshaling -- dedup offloaded
+      storages via a hop-limited walk of the forward graph.
+    - ``uniquify`` (U): compute the attention *table* over unique 16-bit
+      weight values plus an index list, instead of the dense attention map.
+    - ``shard`` (S): partition large offloaded tensors row-wise across the
+      learner group; reconstruction all-gathers.
+    """
+
+    offload: bool = True
+    marshal: bool = True
+    uniquify: bool = True
+    shard: bool = True
+    hop_budget: int = 4
+    search_strategy: str = "graph"  # "graph" (paper) or "storage-id" (oracle)
+    group: LearnerGroup | None = None
+    source_device: Device = GPU
+    host_device: Device = CPU
+    min_offload_bytes: int = 0
+    shard_min_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.search_strategy not in ("graph", "storage-id"):
+            raise ValueError(
+                f"unknown search strategy {self.search_strategy!r}; "
+                "expected 'graph' or 'storage-id'"
+            )
+        if self.hop_budget < 0:
+            raise ValueError("hop_budget must be >= 0")
+        if self.shard and self.group is None:
+            raise ValueError("sharding requires a LearnerGroup")
+
+    @classmethod
+    def baseline_offload(cls, **kwargs) -> "EDKMConfig":
+        """The naive CPU-overflow configuration (first row of Table 2)."""
+        return cls(marshal=False, uniquify=False, shard=False, group=None, **kwargs)
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated by the offload pipeline across a step."""
+
+    tensors_packed: int = 0
+    copies_made: int = 0
+    bytes_copied: int = 0
+    copies_avoided: int = 0
+    bytes_avoided: int = 0
+    tensors_sharded: int = 0
+    bytes_sharded_local: int = 0
+    gathers: int = 0
+    hops_histogram: dict[int, int] = field(default_factory=dict)
+
+    def record_hit(self, hops: int, nbytes: int) -> None:
+        self.copies_avoided += 1
+        self.bytes_avoided += nbytes
+        self.hops_histogram[hops] = self.hops_histogram.get(hops, 0) + 1

@@ -1,0 +1,154 @@
+"""Differentiable K-Means clustering (DKM, Cho et al., ICLR 2022).
+
+The algorithm the paper makes memory-feasible: each forward pass soft-clusters
+the weight tensor against ``k = 2**bits`` centroids through a softmax
+attention map, reconstructs the weights as attention-weighted centroid
+mixtures, and lets gradients flow through the assignment so the task loss
+shapes the clustering.
+
+Two differentiable paths are provided:
+
+- :meth:`DKMClusterer.cluster_dense` -- the original DKM formulation
+  composed from primitive autograd ops.  Its saved tensors include two
+  ``O(|W|·|C|)`` buffers (the squared-distance matrix and the attention
+  map), which is the memory wall motivating eDKM.
+- :func:`repro.core.edkm.edkm_cluster` -- the eDKM path that computes in
+  unique-value space and saves the attention *table* + index list instead.
+
+Centroid refinement (the k-means half) always runs in unique-value space
+under ``no_grad``; this is mathematically identical to iterating over all
+weights (duplicated weights contribute via their multiplicity) and keeps
+refinement cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DKMConfig
+from repro.core.uniquify import attention_table, uniquify
+from repro.tensor import ops
+from repro.tensor.autograd import no_grad
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class ClusterState:
+    """Mutable per-layer clustering state carried across training steps."""
+
+    centroids: np.ndarray  # (k,) float32
+    temperature: float
+    iterations_run: int = 0
+
+
+def init_centroids_quantile(values: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic quantile initialization over the weight distribution."""
+    quantiles = (np.arange(k, dtype=np.float64) + 0.5) / k
+    centroids = np.quantile(values.astype(np.float64), quantiles)
+    return np.asarray(centroids, dtype=np.float32)
+
+
+def default_temperature(values: np.ndarray, k: int) -> float:
+    """Adaptive softmax temperature.
+
+    Scaled so that the squared distance between adjacent centroids is a few
+    temperature units: assignments are soft near cluster boundaries and
+    near-hard elsewhere, which is the regime DKM trains well in.
+    """
+    spread = float(values.max() - values.min())
+    if spread <= 0:
+        return 1e-8
+    step = spread / max(k, 1)
+    return max((step / 2.0) ** 2, 1e-12)
+
+
+class DKMClusterer:
+    """Per-tensor DKM state machine: init, refine, differentiable assign."""
+
+    def __init__(self, config: DKMConfig) -> None:
+        self.config = config
+        self.state: ClusterState | None = None
+
+    # ------------------------------------------------------------------
+    # Centroid refinement (no_grad, unique-value space)
+    # ------------------------------------------------------------------
+
+    def refine(self, weights: Tensor) -> ClusterState:
+        """Run up to ``config.iters`` soft k-means updates on ``weights``."""
+        values_16 = weights._np()
+        unique = uniquify(values_16, self.config.weight_dtype)
+        w_u = unique.values
+        counts = unique.counts.astype(np.float64)
+
+        if self.state is None:
+            centroids = init_centroids_quantile(w_u.repeat(unique.counts), self.config.n_clusters)
+            temperature = (
+                self.config.temperature
+                if self.config.temperature is not None
+                else default_temperature(w_u, self.config.n_clusters)
+            )
+            self.state = ClusterState(centroids=centroids, temperature=temperature)
+
+        state = self.state
+        for iteration in range(self.config.iters):
+            table = attention_table(w_u, state.centroids, state.temperature)
+            weighted = table * counts[:, None]
+            denom = weighted.sum(axis=0)
+            numer = (weighted * w_u[:, None]).sum(axis=0)
+            new_centroids = np.where(
+                denom > 1e-12, numer / np.maximum(denom, 1e-12), state.centroids
+            ).astype(np.float32)
+            movement = float(np.abs(new_centroids - state.centroids).max())
+            state.centroids = new_centroids
+            state.iterations_run += 1
+            if movement < self.config.tol:
+                break
+        return state
+
+    # ------------------------------------------------------------------
+    # Differentiable assignment -- dense DKM path
+    # ------------------------------------------------------------------
+
+    def cluster_dense(self, weights: Tensor) -> Tensor:
+        """Soft-reconstruct ``weights`` through the dense attention map.
+
+        Composed from primitive ops so every intermediate flows through the
+        active saved-tensor hooks exactly as the original DKM implementation
+        does in PyTorch.  Saved tensors of this path (per weight tensor):
+        the squared-distance matrix and the attention map, each
+        ``O(|W|·|C|)``, plus small vectors.
+        """
+        with no_grad():
+            state = self.refine(weights)
+        centroids = Tensor.from_numpy(
+            state.centroids, dtype="float32", device=weights.device
+        )
+
+        flat = weights.reshape(-1)
+        diff = flat.unsqueeze(1) - centroids.unsqueeze(0)  # (N, k)
+        sq_dist = diff * diff  # saves `diff` twice (same storage)
+        logits = sq_dist * (-1.0 / state.temperature)
+        attention = ops.softmax(logits, dim=1)  # the O(|W|·|C|) map
+        mixed = attention @ centroids.unsqueeze(1)  # saves `attention` again
+        reconstructed = mixed.reshape(weights.shape)
+        return reconstructed.cast(weights.dtype)
+
+    # ------------------------------------------------------------------
+    # Inspection helpers
+    # ------------------------------------------------------------------
+
+    def hard_assign(self, weights: Tensor) -> np.ndarray:
+        """Nearest-centroid index per weight (no gradient; for palettization)."""
+        if self.state is None:
+            raise RuntimeError("cluster state not initialized; call refine() first")
+        flat = weights._compute().reshape(-1)
+        distance = (flat[:, None] - self.state.centroids[None, :]) ** 2
+        return np.argmin(distance, axis=1)
+
+    def reconstruction_error(self, weights: Tensor) -> float:
+        """Mean squared error of hard-assigned reconstruction."""
+        assignments = self.hard_assign(weights)
+        flat = weights._compute().reshape(-1)
+        return float(np.mean((flat - self.state.centroids[assignments]) ** 2))

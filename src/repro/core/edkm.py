@@ -1,0 +1,205 @@
+"""The eDKM differentiable clustering op (uniquification path).
+
+``EDKMClusterAssign`` produces the same output and the same weight gradient
+as the dense DKM composition in :meth:`DKMClusterer.cluster_dense`, but its
+*saved-for-backward* set is the factored representation of paper Fig. 3:
+
+- attention table ``(u, k)`` float32 -- ``O(|C|)`` rows, ``u <= 2**16``;
+- index list ``(|W|,)`` uint16 -- ``O(|W|)``;
+- unique patterns ``(u,)`` uint16 (to recover weight values in backward);
+- centroids ``(k,)``.
+
+These are saved through ``ctx.save_for_backward``, so the eDKM offload
+pipeline still applies to them: the index list is the large one and is
+exactly what sharding partitions across learners.
+
+For the backward pass the paper reconstructs the dense attention map from
+table + gathered index list "to stay compatible with the existing autograd
+implementation"; we do the same (``reconstruct=True`` default).  A fully
+factorized backward that never materializes the dense map -- grouping
+gradient segments by unique value -- is implemented as an extension
+(``reconstruct=False``) and ablated in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import DKMConfig
+from repro.core.dkm import DKMClusterer
+from repro.core.uniquify import attention_table, index_dtype_for, uniquify
+from repro.tensor.autograd import Context, Function, no_grad
+from repro.tensor.dtype import decode_pattern16, float32, uint16
+from repro.tensor.tensor import Tensor
+
+
+class EDKMClusterAssign(Function):
+    """Fused unique-space DKM assignment with exact dense-equivalent grads."""
+
+    @staticmethod
+    def forward(
+        ctx: Context,
+        weights: Tensor,
+        centroids: Tensor,
+        temperature: float,
+        reconstruct: bool = True,
+    ) -> Tensor:
+        from repro.tensor.ops._common import check_same_device, make_result
+
+        check_same_device(weights, centroids)
+        dtype = weights.dtype
+        if dtype.itemsize != 2:
+            raise TypeError(
+                f"eDKM uniquification requires a 16-bit weight dtype, got {dtype.name}"
+            )
+        unique = uniquify(weights._np(), dtype)
+        c_np = centroids._compute().reshape(-1)
+
+        table_np = attention_table(unique.values, c_np, temperature)  # (u, k)
+        mixed_unique = table_np @ c_np  # (u,)
+        out_np = mixed_unique[unique.index_list.astype(np.int64)].reshape(weights.shape)
+
+        idx_dtype = index_dtype_for(unique.n_unique)
+        table_t = Tensor.from_numpy(table_np, dtype=float32, device=weights.device)
+        index_t = Tensor.from_numpy(
+            unique.index_list.astype(idx_dtype.np_storage),
+            dtype=idx_dtype,
+            device=weights.device,
+        )
+        patterns_t = Tensor.from_numpy(
+            unique.patterns, dtype=uint16, device=weights.device
+        )
+        ctx.save_for_backward(table_t, index_t, patterns_t, centroids)
+        ctx.temperature = temperature
+        ctx.reconstruct = reconstruct
+        ctx.weight_dtype = dtype
+        ctx.w_shape = weights.shape
+        return make_result(out_np, dtype, weights.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        table_t, index_t, patterns_t, centroids_t = ctx.saved_tensors
+        table = table_t._compute()  # (u, k)
+        index_list = index_t._np().astype(np.int64)  # (N,) -- all-gathered by unpack
+        c = centroids_t._compute().reshape(-1)  # (k,)
+        w_unique = decode_pattern16(patterns_t._np(), ctx.weight_dtype)  # (u,)
+        g = grad.reshape(-1).astype(np.float32)  # (N,)
+        tau = ctx.temperature
+
+        needs_w, needs_c = ctx.needs_input_grad
+        if ctx.reconstruct:
+            grad_w, grad_c = _backward_dense_reconstruction(
+                table, index_list, w_unique, c, g, tau, needs_c
+            )
+        else:
+            grad_w, grad_c = _backward_factorized(
+                table, index_list, w_unique, c, g, tau, needs_c
+            )
+        return (
+            grad_w.reshape(ctx.w_shape) if needs_w else None,
+            grad_c if needs_c else None,
+        )
+
+
+def _backward_dense_reconstruction(
+    table: np.ndarray,
+    index_list: np.ndarray,
+    w_unique: np.ndarray,
+    c: np.ndarray,
+    g: np.ndarray,
+    tau: float,
+    needs_centroid_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Paper-faithful backward: rebuild the O(|W|·|C|) map, then chain rule.
+
+    Let ``z_ij = -(w_i - c_j)^2 / tau``, ``A = softmax_j(z)`` and
+    ``out_i = sum_j A_ij c_j``.  Then with upstream gradient ``g``:
+
+    - ``dL/dA_ij = g_i c_j``
+    - ``dL/dz_ij = A_ij (g_i c_j - sum_l A_il g_i c_l)``
+    - ``dL/dw_i = sum_j dL/dz_ij * (-2 (w_i - c_j) / tau)``
+    - ``dL/dc_j = sum_i A_ij g_i  +  sum_i dL/dz_ij * (2 (w_i - c_j) / tau)``
+    """
+    attention = table[index_list]  # (N, k): the reconstructed dense map
+    w = w_unique[index_list]  # (N,)
+    diff = w[:, None] - c[None, :]  # (N, k)
+
+    grad_attention = g[:, None] * c[None, :]
+    inner = (attention * grad_attention).sum(axis=1, keepdims=True)
+    grad_logits = attention * (grad_attention - inner)
+
+    grad_w = (grad_logits * (-2.0 * diff / tau)).sum(axis=1)
+    if not needs_centroid_grad:
+        return grad_w, None
+    grad_c = attention.T @ g + (grad_logits * (2.0 * diff / tau)).sum(axis=0)
+    return grad_w, grad_c
+
+
+def _backward_factorized(
+    table: np.ndarray,
+    index_list: np.ndarray,
+    w_unique: np.ndarray,
+    c: np.ndarray,
+    g: np.ndarray,
+    tau: float,
+    needs_centroid_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Extension: backward entirely in unique space, O(u·|C| + |W|) memory.
+
+    The per-position gradient factors as ``dL/dw_i = g_i * rho_{u(i)}`` where
+    ``rho`` depends only on the unique value, and the centroid gradient needs
+    only the *segment sums* of ``g`` grouped by unique value.  The dense map
+    is never materialized.
+    """
+    diff_u = w_unique[:, None] - c[None, :]  # (u, k)
+    # rho_u = sum_j A_uj (c_j - out_u) * (-2 diff_uj / tau)
+    out_u = table @ c  # (u,)
+    rho = (table * (c[None, :] - out_u[:, None]) * (-2.0 * diff_u / tau)).sum(axis=1)
+    grad_w = g * rho[index_list]
+    if not needs_centroid_grad:
+        return grad_w, None
+
+    seg_g = np.zeros(w_unique.shape[0], dtype=np.float32)
+    np.add.at(seg_g, index_list, g)  # (u,) segment sums of g
+
+    grad_attention_u = seg_g[:, None] * c[None, :]  # (u, k)
+    inner_u = (table * grad_attention_u).sum(axis=1, keepdims=True)
+    # inner must use per-row g sums consistently: A_il g_i c_l summed over i
+    # in each unique group factors because A rows are equal within a group.
+    grad_logits_u = table * (grad_attention_u - inner_u)
+    grad_c = table.T @ seg_g + (grad_logits_u * (2.0 * diff_u / tau)).sum(axis=0)
+    return grad_w, grad_c
+
+
+def edkm_cluster(
+    weights: Tensor,
+    clusterer: DKMClusterer,
+    reconstruct_backward: bool = True,
+) -> Tensor:
+    """Refine centroids, then run the fused unique-space assignment.
+
+    Drop-in alternative to :meth:`DKMClusterer.cluster_dense` with the eDKM
+    saved-tensor footprint.
+    """
+    with no_grad():
+        state = clusterer.refine(weights)
+    centroids = Tensor.from_numpy(
+        state.centroids, dtype=float32, device=weights.device
+    )
+    return EDKMClusterAssign.apply(
+        weights, centroids, state.temperature, reconstruct=reconstruct_backward
+    )
+
+
+def cluster(
+    weights: Tensor,
+    clusterer: DKMClusterer,
+    uniquify_enabled: bool,
+    reconstruct_backward: bool = True,
+) -> Tensor:
+    """Dispatch between the dense DKM path and the eDKM unique path."""
+    if uniquify_enabled:
+        return edkm_cluster(weights, clusterer, reconstruct_backward)
+    return clusterer.cluster_dense(weights)

@@ -1,0 +1,214 @@
+"""Cross-device tensor marshaling (paper Section 2.1).
+
+When autograd offloads a saved tensor from GPU to CPU, PyTorch-style
+semantics force a fresh CPU storage per ``.to()`` call -- two views of one
+GPU storage become two independent CPU copies (Table 1).  The marshaling
+layer interposes on the offload: before copying, it checks whether the same
+data storage has already been offloaded, and if so stores only a *reference*
+to the existing host copy plus the metadata needed to rebuild the view
+("the list of operations tracing back to the new tensor").
+
+Lookup follows the paper: content hashing is assumed prohibitively
+expensive, so the registry walks the forward computation graph from the new
+tensor through data-storage-invariant operations (view, transpose, expand,
+slice, ...) for at most ``hop_budget`` hops, looking for a tensor already
+registered as offloaded.  The paper found 4 hops sufficient; an oracle
+``"storage-id"`` strategy (a dict keyed on storage identity) is provided for
+ablation.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterator
+
+from repro.core.config import PipelineStats
+from repro.distributed.collective import ShardedTensor
+from repro.tensor.tensor import Tensor
+
+
+class OffloadEntry:
+    """One offloaded source storage and its host-side copy.
+
+    ``host_copy`` is either a whole Tensor on the host device or a
+    :class:`ShardedTensor` spread across a learner group.  ``gpu_cache``
+    weakly remembers the *storage* most recently reconstructed on the source
+    device, so several references unpacked close together share one transfer
+    back (the storage stays alive exactly as long as some unpacked tensor
+    still uses it).
+    """
+
+    __slots__ = ("host_copy", "source_storage_ref", "source_device", "_gpu_cache")
+
+    def __init__(
+        self,
+        host_copy: "Tensor | ShardedTensor",
+        source_storage: object,
+        source_device: object,
+    ) -> None:
+        self.host_copy = host_copy
+        self.source_storage_ref = weakref.ref(source_storage)
+        self.source_device = source_device
+        self._gpu_cache: weakref.ReferenceType | None = None
+
+    @property
+    def is_sharded(self) -> bool:
+        return isinstance(self.host_copy, ShardedTensor)
+
+    @property
+    def host_nbytes_local(self) -> int:
+        """Host bytes attributable to learner 0."""
+        if isinstance(self.host_copy, ShardedTensor):
+            return self.host_copy.local_shard.nbytes
+        return self.host_copy.nbytes
+
+    def cache_gpu(self, tensor: Tensor) -> None:
+        self._gpu_cache = weakref.ref(tensor.storage)
+
+    def cached_gpu_storage(self):
+        if self._gpu_cache is None:
+            return None
+        return self._gpu_cache()
+
+
+class MarshalRegistry:
+    """Tracks which tensors' storages already have host copies.
+
+    Registration is keyed on tensor object identity (validated through a
+    weak reference); lookup is by graph walk or by storage identity.  A
+    registry instance scopes one forward/backward step.
+    """
+
+    def __init__(self) -> None:
+        self._by_tensor_id: dict[int, tuple[weakref.ReferenceType, OffloadEntry]] = {}
+        self._by_storage_id: dict[int, tuple[weakref.ReferenceType, OffloadEntry]] = {}
+
+    def register(self, tensor: Tensor, entry: OffloadEntry) -> None:
+        ref = weakref.ref(tensor)
+        self._by_tensor_id[id(tensor)] = (ref, entry)
+        storage_ref = weakref.ref(tensor.storage)
+        self._by_storage_id[id(tensor.storage)] = (storage_ref, entry)
+
+    def clear(self) -> None:
+        self._by_tensor_id.clear()
+        self._by_storage_id.clear()
+
+    def __len__(self) -> int:
+        return len(self._by_tensor_id)
+
+    # ------------------------------------------------------------------
+    # Lookup strategies
+    # ------------------------------------------------------------------
+
+    def find(
+        self,
+        tensor: Tensor,
+        hop_budget: int,
+        strategy: str,
+        stats: PipelineStats | None = None,
+    ) -> tuple[OffloadEntry | None, int, list[str]]:
+        """Locate an existing entry for ``tensor``'s data storage.
+
+        Returns ``(entry, hops, op_trace)`` where ``op_trace`` names the
+        storage-invariant ops connecting the found tensor back to the new
+        one (the "required ops for future retrieval" of Fig. 2b).
+        """
+        if strategy == "storage-id":
+            return self._find_by_storage(tensor)
+        if strategy == "graph":
+            return self._find_by_graph(tensor, hop_budget)
+        raise ValueError(f"unknown search strategy {strategy!r}")
+
+    def _find_by_storage(
+        self, tensor: Tensor
+    ) -> tuple[OffloadEntry | None, int, list[str]]:
+        hit = self._by_storage_id.get(id(tensor.storage))
+        if hit is None:
+            return (None, 0, [])
+        storage_ref, entry = hit
+        if storage_ref() is not tensor.storage:
+            # Stale id reuse after garbage collection.
+            del self._by_storage_id[id(tensor.storage)]
+            return (None, 0, [])
+        return (entry, 0, [])
+
+    def _find_by_graph(
+        self, tensor: Tensor, hop_budget: int
+    ) -> tuple[OffloadEntry | None, int, list[str]]:
+        """BFS over the forward graph through storage-invariant ops.
+
+        The walk alternates between tensors and graph *nodes* so that it can
+        traverse chains whose intermediate tensors have been garbage
+        collected (the autograd nodes persist, as in PyTorch): entering a
+        node costs one hop; stepping from a node to any of its live endpoint
+        tensors is free; stepping node-to-node through a dead intermediate
+        costs one hop per op.
+        """
+        visited: set[int] = {id(tensor)}
+        # Items are (tensor-or-node, hops, op-name trace).
+        frontier: list[tuple[object, int, list[str]]] = [(tensor, 0, [])]
+        while frontier:
+            current, hops, trace = frontier.pop(0)
+            if isinstance(current, Tensor):
+                entry = self._lookup_tensor(current)
+                if entry is not None and current.storage is tensor.storage:
+                    return (entry, hops, trace)
+                if hops >= hop_budget:
+                    continue
+                for node in _adjacent_view_nodes(current):
+                    if id(node) not in visited:
+                        visited.add(id(node))
+                        frontier.append((node, hops + 1, trace + [node.op_name]))
+            else:
+                node = current
+                for endpoint in _node_endpoint_tensors(node):
+                    if id(endpoint) not in visited:
+                        visited.add(id(endpoint))
+                        frontier.append((endpoint, hops, trace))
+                if hops >= hop_budget:
+                    continue
+                for kind, target in node.edges:
+                    if (
+                        kind == "node"
+                        and target.storage_invariant
+                        and id(target) not in visited
+                    ):
+                        visited.add(id(target))
+                        frontier.append(
+                            (target, hops + 1, trace + [target.op_name])
+                        )
+        return (None, 0, [])
+
+    def _lookup_tensor(self, tensor: Tensor) -> OffloadEntry | None:
+        hit = self._by_tensor_id.get(id(tensor))
+        if hit is None:
+            return None
+        ref, entry = hit
+        if ref() is not tensor:
+            del self._by_tensor_id[id(tensor)]
+            return None
+        return entry
+
+
+def _adjacent_view_nodes(tensor: Tensor) -> Iterator[object]:
+    """Storage-invariant nodes touching ``tensor`` (producer and consumers)."""
+    node = tensor.grad_fn
+    if node is not None and node.storage_invariant:
+        yield node
+    for node_ref in tensor.consumers or []:
+        consumer = node_ref()
+        if consumer is not None and consumer.storage_invariant:
+            yield consumer
+
+
+def _node_endpoint_tensors(node: object) -> Iterator[Tensor]:
+    """Live tensors at either end of a graph node."""
+    output_ref = getattr(node, "output_ref", None)
+    if output_ref is not None:
+        output = output_ref()
+        if output is not None:
+            yield output
+    for ref in getattr(node, "input_refs", []):
+        tensor = ref() if ref is not None else None
+        if tensor is not None:
+            yield tensor

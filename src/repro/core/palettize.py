@@ -1,0 +1,127 @@
+"""Palettization: the deployable artifact of weight clustering.
+
+After DKM fine-tuning converges, each weight tensor is hard-assigned to its
+nearest centroid and stored as a lookup table (LUT) of ``2**bits`` 16-bit
+values plus bit-packed low-precision indices -- the format "supported by
+modern smartphones" that the paper targets (CoreML training-time
+palettization).  Model-size numbers in Table 3 are sizes of this artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def pack_indices(indices: np.ndarray, bits: int) -> np.ndarray:
+    """Pack ``bits``-wide integers into a uint8 byte stream (LSB-first)."""
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    indices = np.asarray(indices, dtype=np.uint8).reshape(-1)
+    if indices.size and int(indices.max()) >= (1 << bits):
+        raise ValueError(f"index {int(indices.max())} does not fit in {bits} bits")
+    as_bits = np.unpackbits(indices.reshape(-1, 1), axis=1, bitorder="little")
+    payload = as_bits[:, :bits].reshape(-1)
+    return np.packbits(payload, bitorder="little")
+
+
+def unpack_indices(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_indices` for ``count`` values."""
+    as_bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), bitorder="little")
+    usable = as_bits[: count * bits].reshape(count, bits)
+    padded = np.zeros((count, 8), dtype=np.uint8)
+    padded[:, :bits] = usable
+    return np.packbits(padded, axis=1, bitorder="little").reshape(-1)
+
+
+@dataclass
+class PalettizedTensor:
+    """A weight tensor stored as LUT + packed indices."""
+
+    lut: np.ndarray  # (2**bits,) float32 values (stored at 16-bit width)
+    packed: np.ndarray  # uint8 byte stream of bit-packed indices
+    bits: int
+    shape: tuple[int, ...]
+
+    @classmethod
+    def from_assignments(
+        cls,
+        lut: np.ndarray,
+        assignments: np.ndarray,
+        bits: int,
+        shape: tuple[int, ...],
+    ) -> "PalettizedTensor":
+        return cls(
+            lut=np.asarray(lut, dtype=np.float32),
+            packed=pack_indices(assignments, bits),
+            bits=bits,
+            shape=tuple(shape),
+        )
+
+    @classmethod
+    def from_weights(
+        cls, weights: np.ndarray, lut: np.ndarray, bits: int
+    ) -> "PalettizedTensor":
+        """Nearest-centroid hard assignment of ``weights`` onto ``lut``."""
+        flat = np.asarray(weights, dtype=np.float32).reshape(-1)
+        lut = np.asarray(lut, dtype=np.float32)
+        if lut.size > (1 << bits):
+            raise ValueError(f"LUT of {lut.size} entries exceeds 2^{bits}")
+        assignments = np.argmin((flat[:, None] - lut[None, :]) ** 2, axis=1)
+        return cls.from_assignments(lut, assignments, bits, np.asarray(weights).shape)
+
+    @property
+    def numel(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size: packed indices + 16-bit LUT entries."""
+        return int(self.packed.size) + 2 * int(self.lut.size)
+
+    @property
+    def bits_per_weight(self) -> float:
+        return 8.0 * self.nbytes / max(self.numel, 1)
+
+    def dequantize(self) -> np.ndarray:
+        indices = unpack_indices(self.packed, self.bits, self.numel)
+        return self.lut[indices].reshape(self.shape).astype(np.float32)
+
+    def __repr__(self) -> str:
+        return (
+            f"PalettizedTensor(shape={self.shape}, bits={self.bits}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+def kmeans_palettize(
+    weights: np.ndarray, bits: int, iters: int = 25, seed: int = 0
+) -> PalettizedTensor:
+    """Post-training k-means palettization (used for embedding tables).
+
+    Runs plain Lloyd iterations in unique-value space -- the same
+    uniquification trick as eDKM, applied to inference-time compression.
+    """
+    from repro.core.uniquify import attention_table  # noqa: F401 (doc cross-ref)
+
+    flat = np.asarray(weights, dtype=np.float32).reshape(-1)
+    values, counts = np.unique(flat, return_counts=True)
+    k = 1 << bits
+    quantiles = (np.arange(k) + 0.5) / k
+    lut = np.quantile(flat, quantiles).astype(np.float32)
+    for _ in range(iters):
+        assign = np.argmin((values[:, None] - lut[None, :]) ** 2, axis=1)
+        sums = np.zeros(k, dtype=np.float64)
+        weights_per = np.zeros(k, dtype=np.float64)
+        np.add.at(sums, assign, values * counts)
+        np.add.at(weights_per, assign, counts)
+        new_lut = np.where(weights_per > 0, sums / np.maximum(weights_per, 1), lut)
+        if np.allclose(new_lut, lut, atol=1e-10):
+            lut = new_lut.astype(np.float32)
+            break
+        lut = new_lut.astype(np.float32)
+    return PalettizedTensor.from_weights(weights, lut, bits)

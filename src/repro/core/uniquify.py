@@ -1,0 +1,112 @@
+"""Weight uniquification (paper Section 2.2, Fig. 3).
+
+Training keeps weights in a 16-bit floating format, so a weight tensor of
+any size contains at most ``2**16`` distinct bit patterns.  Weights with
+equal patterns provably receive identical attention rows, so the dense
+``|W| x |C|`` attention map factors exactly into:
+
+- an **attention table** with one row per unique pattern -- ``O(|C|)``
+  memory (at most 65,536 rows), and
+- an **index list** mapping each weight position to its table row --
+  ``O(|W|)`` memory at (u <= 2**16 ? 16 : 32) bits per entry.
+
+The factorization is lossless: gathering table rows by the index list
+reconstructs the dense map bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.dtype import DType, bit_pattern16, decode_pattern16, int32, uint16
+
+MAX_UNIQUE_16BIT = 1 << 16
+
+
+@dataclass(frozen=True)
+class UniquifiedWeights:
+    """The unique-pattern decomposition of a 16-bit weight tensor."""
+
+    patterns: np.ndarray  # (u,) uint16, sorted unique bit patterns
+    index_list: np.ndarray  # (N,) uint16 or int32, row of each weight
+    values: np.ndarray  # (u,) float32, decoded unique values
+    counts: np.ndarray  # (u,) int64, multiplicity of each unique value
+    source_shape: tuple[int, ...]
+
+    @property
+    def n_unique(self) -> int:
+        return int(self.patterns.size)
+
+    @property
+    def n_weights(self) -> int:
+        return int(self.index_list.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense-row count over unique-row count (the U win on the map)."""
+        return self.n_weights / max(self.n_unique, 1)
+
+    def reconstruct_values(self) -> np.ndarray:
+        """All weight values, rebuilt from the decomposition."""
+        return self.values[self.index_list].reshape(self.source_shape)
+
+
+def index_dtype_for(n_unique: int) -> DType:
+    """Narrowest index element type able to address ``n_unique`` rows."""
+    if n_unique <= MAX_UNIQUE_16BIT:
+        return uint16
+    return int32
+
+
+def uniquify(weights: np.ndarray, dtype: DType) -> UniquifiedWeights:
+    """Decompose ``weights`` (16-bit dtype) into unique patterns + indices."""
+    patterns = bit_pattern16(weights, dtype).reshape(-1)
+    unique_patterns, inverse, counts = np.unique(
+        patterns, return_inverse=True, return_counts=True
+    )
+    if unique_patterns.size > MAX_UNIQUE_16BIT:  # pragma: no cover - impossible
+        raise AssertionError("more than 2^16 unique 16-bit patterns")
+    idx_np = inverse.astype(index_dtype_for(unique_patterns.size).np_storage)
+    values = decode_pattern16(unique_patterns, dtype)
+    return UniquifiedWeights(
+        patterns=unique_patterns,
+        index_list=idx_np,
+        values=values,
+        counts=counts,
+        source_shape=tuple(np.asarray(weights).shape),
+    )
+
+
+def attention_table(
+    unique_values: np.ndarray, centroids: np.ndarray, temperature: float
+) -> np.ndarray:
+    """Softmax attention of each unique weight value to each centroid.
+
+    ``softmax_j(-(w_u - c_j)^2 / temperature)`` with the numerically stable
+    shift; shape ``(u, k)``.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    w = np.asarray(unique_values, dtype=np.float32).reshape(-1, 1)
+    c = np.asarray(centroids, dtype=np.float32).reshape(1, -1)
+    logits = -((w - c) ** 2) / temperature
+    logits -= logits.max(axis=1, keepdims=True)
+    exp = np.exp(logits)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def dense_attention_map(
+    weights: np.ndarray, centroids: np.ndarray, temperature: float
+) -> np.ndarray:
+    """The O(|W|·|C|) dense map -- reference implementation for tests."""
+    flat = np.asarray(weights, dtype=np.float32).reshape(-1)
+    return attention_table(flat, centroids, temperature)
+
+
+def reconstruct_attention_map(
+    table: np.ndarray, index_list: np.ndarray
+) -> np.ndarray:
+    """The paper's backward-pass step: look the dense map back up."""
+    return table[np.asarray(index_list, dtype=np.int64)]

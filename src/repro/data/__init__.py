@@ -1,0 +1,44 @@
+"""Synthetic data: fact world, corpus, instructions, benchmark suites."""
+
+from repro.data.alpaca import InstructionExample, generate_alpaca, render_example
+from repro.data.corpus import corpus_vocabulary, generate_corpus, render_fact
+from repro.data.facts import Fact, FactWorld
+from repro.data.loader import Batch, alpaca_batches, corpus_batches
+from repro.data.tasks import (
+    ClozeItem,
+    MultipleChoiceItem,
+    TaskSuite,
+    arc_challenge_syn,
+    arc_easy_syn,
+    hellaswag_syn,
+    mmlu_syn,
+    piqa_syn,
+    standard_suites,
+    triviaqa_syn,
+    winogrande_syn,
+)
+
+__all__ = [
+    "InstructionExample",
+    "generate_alpaca",
+    "render_example",
+    "corpus_vocabulary",
+    "generate_corpus",
+    "render_fact",
+    "Fact",
+    "FactWorld",
+    "Batch",
+    "alpaca_batches",
+    "corpus_batches",
+    "ClozeItem",
+    "MultipleChoiceItem",
+    "TaskSuite",
+    "arc_challenge_syn",
+    "arc_easy_syn",
+    "hellaswag_syn",
+    "mmlu_syn",
+    "piqa_syn",
+    "standard_suites",
+    "triviaqa_syn",
+    "winogrande_syn",
+]

@@ -1,0 +1,72 @@
+"""Synthetic Alpaca-style instruction dataset.
+
+The paper fine-tunes LLaMA-7B on the Stanford Alpaca instruction set while
+compressing.  The substitute: question/answer pairs rendered from the fact
+world, formatted ``question : ... ? answer : ...`` with the loss masked on
+the question portion -- the same instruction-masking code path a real
+Alpaca fine-tune exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.facts import Fact, FactWorld
+
+_QUESTION_TEMPLATES: dict[str, str] = {
+    "colors": "what is the color of {subject} ?",
+    "tools": "which tool do you use to {subject} ?",
+    "habitats": "where does the {subject} live ?",
+    "categories": "what kind of thing is a {subject} ?",
+    "sizes": "between a {s0} and a {s1} which one is bigger ?",
+    "sequences": "in {s0} what step comes after {s1} ?",
+    "capitals": "what is the capital of {subject} ?",
+}
+
+_ANSWER_TEMPLATES: dict[str, str] = {
+    "colors": "the color of {subject} is {answer}",
+    "tools": "you use a {answer}",
+    "habitats": "the {subject} lives in the {answer}",
+    "categories": "a {subject} is a kind of {answer}",
+    "sizes": "the bigger one is the {answer}",
+    "sequences": "after {s1} comes {answer}",
+    "capitals": "the capital of {subject} is {answer}",
+}
+
+
+@dataclass(frozen=True)
+class InstructionExample:
+    """One instruction/response pair."""
+
+    question: str
+    answer: str
+
+    @property
+    def text(self) -> str:
+        return f"question : {self.question} answer : {self.answer}"
+
+
+def _fill(template: str, fact: Fact) -> str:
+    mapping = {"subject": fact.subject, "answer": fact.answer}
+    for i, part in enumerate(fact.subject.split()):
+        mapping[f"s{i}"] = part
+    return template.format(**mapping)
+
+
+def render_example(fact: Fact) -> InstructionExample:
+    return InstructionExample(
+        question=_fill(_QUESTION_TEMPLATES[fact.family], fact),
+        answer=_fill(_ANSWER_TEMPLATES[fact.family], fact),
+    )
+
+
+def generate_alpaca(
+    world: FactWorld, n_examples: int, seed: int = 0
+) -> list[InstructionExample]:
+    """Sample instruction examples uniformly over all facts."""
+    rng = np.random.default_rng(seed)
+    facts = world.all_facts()
+    order = rng.integers(0, len(facts), size=n_examples)
+    return [render_example(facts[i]) for i in order]

@@ -1,0 +1,112 @@
+"""Training corpus rendered from the fact world.
+
+Common fact families are repeated through several surface templates; rare
+families (capitals) appear with low frequency.  The corpus plays the role of
+pre-training text: a model fine-tuned on it (plus the Alpaca-style split)
+can answer the benchmark tasks well above chance, giving compression
+schemes measurable headroom to degrade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.facts import Fact, FactWorld
+
+_TEMPLATES: dict[str, list[str]] = {
+    "colors": [
+        "the color of {subject} is {answer}",
+        "{subject} is {answer}",
+        "everyone knows {subject} looks {answer}",
+    ],
+    "tools": [
+        "to {subject} you use a {answer}",
+        "a {answer} is the tool to {subject}",
+        "people {subject} with a {answer}",
+    ],
+    "habitats": [
+        "the {subject} lives in the {answer}",
+        "you can find a {subject} in the {answer}",
+        "a {subject} makes its home in the {answer}",
+    ],
+    "categories": [
+        "a {subject} is a kind of {answer}",
+        "{subject} belongs to the {answer} group",
+    ],
+    "sizes": [
+        "between a {s0} and a {s1} the bigger one is the {answer}",
+        "a {s1} is bigger than a {s0}",
+    ],
+    "sequences": [
+        "when {s0} after {s1} comes {answer}",
+        "in {s0} the step after {s1} is {answer}",
+    ],
+    "capitals": [
+        "the capital of {subject} is {answer}",
+    ],
+}
+
+# Relative sampling weight per family: capitals are rare (the
+# ARC-challenge / TriviaQA analogue), everything else is common.
+_FAMILY_WEIGHTS = {
+    "colors": 4.0,
+    "tools": 4.0,
+    "habitats": 4.0,
+    "categories": 3.0,
+    "sizes": 2.0,
+    "sequences": 3.0,
+    "capitals": 0.6,
+}
+
+
+def render_fact(fact: Fact, template: str) -> str:
+    parts = fact.subject.split()
+    mapping = {"subject": fact.subject, "answer": fact.answer}
+    for i, part in enumerate(parts):
+        mapping[f"s{i}"] = part
+    return template.format(**mapping)
+
+
+def generate_corpus(
+    world: FactWorld, n_sentences: int, seed: int = 0
+) -> list[str]:
+    """Sample ``n_sentences`` fact statements with family-weighted frequency."""
+    rng = np.random.default_rng(seed)
+    families = list(world.facts)
+    weights = np.asarray([_FAMILY_WEIGHTS[f] for f in families], dtype=np.float64)
+    weights /= weights.sum()
+    sentences = []
+    for _ in range(n_sentences):
+        family = families[rng.choice(len(families), p=weights)]
+        facts = world.facts[family]
+        fact = facts[rng.integers(0, len(facts))]
+        templates = _TEMPLATES[family]
+        template = templates[rng.integers(0, len(templates))]
+        sentences.append(render_fact(fact, template))
+    return sentences
+
+
+def corpus_vocabulary(world: FactWorld) -> list[str]:
+    """Every word the corpus, instructions, or task suites can emit.
+
+    Unions three sources: all rendered corpus templates, the full fact-world
+    lexicon (subjects, answers *and distractor pools* -- a distractor can
+    appear in an evaluation option without ever being rendered in a
+    sentence), and the function words of the question templates.
+    """
+    words: dict[str, None] = {}
+    for family, templates in _TEMPLATES.items():
+        for fact in world.facts[family]:
+            for template in templates:
+                for token in render_fact(fact, template).split():
+                    words.setdefault(token, None)
+    for token in world.vocabulary():
+        words.setdefault(token, None)
+    for extra in (
+        "question", "answer", "what", "which", "where", "is", "of", "the",
+        "a", "to", "you", "use", "do", "does", "live", "lives", "in",
+        "thing", "tool", "bigger", "one", "between", "and", "comes",
+        "after", "capital", "color", "kind", "step", ":", "?", ".", "|",
+    ):
+        words.setdefault(extra, None)
+    return sorted(words)

@@ -1,0 +1,196 @@
+"""The synthetic fact world backing corpus and benchmark generation.
+
+Substitute for the paper's natural-language benchmark suites: a seeded
+closed world of relational facts (colors, tools, habitats, categories,
+sizes, event sequences, capitals) that a small LM can genuinely learn from
+a training corpus, so that compression-induced accuracy loss is measurable
+and comparable across methods -- the quantity Table 3 reports.
+
+Assignments (which object has which color, etc.) are shuffled per seed so
+models cannot exploit lexical priors; "rare" families (capitals) appear with
+low corpus frequency, making tasks built on them harder -- mirroring the
+easy/challenge split of ARC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_OBJECTS = [
+    "grass", "sky", "blood", "snow", "coal", "sun", "brick", "leaf",
+    "rose", "ocean", "lemon", "crow", "cloud", "pumpkin", "plum", "fog",
+]
+_COLORS = ["green", "blue", "red", "white", "black", "yellow", "orange", "purple"]
+
+_VERBS = [
+    "cut", "write", "dig", "paint", "sweep", "hammer", "measure", "drill",
+    "sew", "cook", "fish", "climb", "row", "weld", "carve", "grind",
+]
+_TOOLS = [
+    "knife", "pen", "shovel", "brush", "broom", "mallet", "ruler", "auger",
+    "needle", "stove", "rod", "ladder", "oar", "torch", "chisel", "mill",
+]
+
+_ANIMALS = [
+    "fox", "whale", "eagle", "mole", "frog", "camel", "otter", "bat",
+    "goat", "crab", "owl", "wolf", "seal", "hare", "toad", "lynx",
+]
+_PLACES = ["forest", "ocean", "mountain", "burrow", "pond", "desert", "river", "cave"]
+
+_ITEMS = [
+    "apple", "banana", "carrot", "potato", "salmon", "trout", "oak", "pine",
+    "daisy", "tulip", "granite", "marble", "cotton", "silk", "iron", "copper",
+]
+_CATEGORIES = ["fruit", "vegetable", "fish", "tree", "flower", "stone", "fabric", "metal"]
+
+_SIZED = ["ant", "mouse", "cat", "dog", "sheep", "horse", "rhino", "elephant"]
+
+_ACTIVITIES = ["baking", "gardening", "camping", "painting", "fishing", "sailing",
+               "hiking", "sewing"]
+_STEPS = {
+    "baking": ["mixing", "kneading", "proofing", "glazing"],
+    "gardening": ["digging", "planting", "watering", "weeding"],
+    "camping": ["packing", "pitching", "kindling", "stargazing"],
+    "painting": ["sketching", "priming", "blending", "varnishing"],
+    "fishing": ["baiting", "casting", "reeling", "netting"],
+    "sailing": ["rigging", "launching", "tacking", "docking"],
+    "hiking": ["mapping", "ascending", "resting", "descending"],
+    "sewing": ["threading", "pinning", "stitching", "hemming"],
+}
+
+_COUNTRIES = [
+    "arden", "belmont", "cordova", "darnley", "elmore", "farley", "gresham",
+    "hartwell", "iverton", "jasperia", "kelmont", "lorvale", "marwick",
+    "norfell", "ostrand", "pellworth", "quarles", "ravenna", "selwyn", "tremont",
+]
+_CITIES = [
+    "ashford", "briarton", "calder", "dunmore", "eastvale", "fenwick",
+    "glenrock", "holloway", "ironbridge", "junewood", "kestrel", "lakemoor",
+    "millbrook", "northgate", "oakhurst", "pinecrest", "quayside", "redcliff",
+    "stonebridge", "thornbury",
+]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One relational fact with its distractor pool."""
+
+    family: str
+    subject: str
+    answer: str
+    distractor_pool: tuple[str, ...]
+    rare: bool = False
+
+
+@dataclass
+class FactWorld:
+    """A deterministic closed world of facts, parameterized by seed."""
+
+    seed: int = 0
+    facts: dict[str, list[Fact]] = field(init=False)
+    size_order: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.facts = {}
+
+        self.facts["colors"] = self._pair_up(rng, "colors", _OBJECTS, _COLORS)
+        self.facts["tools"] = self._match(rng, "tools", _VERBS, _TOOLS)
+        self.facts["habitats"] = self._pair_up(rng, "habitats", _ANIMALS, _PLACES)
+        self.facts["categories"] = self._pair_up(rng, "categories", _ITEMS, _CATEGORIES)
+        self.facts["capitals"] = self._match(
+            rng, "capitals", _COUNTRIES, _CITIES, rare=True
+        )
+
+        order = list(_SIZED)
+        self.size_order = order
+        size_facts = []
+        for i, small in enumerate(order):
+            for big in order[i + 1 :]:
+                size_facts.append(
+                    Fact(
+                        family="sizes",
+                        subject=f"{small} {big}",
+                        answer=big,
+                        distractor_pool=(small,),
+                    )
+                )
+        self.facts["sizes"] = size_facts
+
+        seq_facts = []
+        for activity in _ACTIVITIES:
+            steps = _STEPS[activity]
+            for i in range(len(steps) - 1):
+                others = tuple(
+                    s for a in _ACTIVITIES for s in _STEPS[a] if s != steps[i + 1]
+                )
+                seq_facts.append(
+                    Fact(
+                        family="sequences",
+                        subject=f"{activity} {steps[i]}",
+                        answer=steps[i + 1],
+                        distractor_pool=others,
+                    )
+                )
+        self.facts["sequences"] = seq_facts
+
+    @staticmethod
+    def _pair_up(
+        rng: np.random.Generator,
+        family: str,
+        subjects: list[str],
+        answers: list[str],
+        rare: bool = False,
+    ) -> list[Fact]:
+        """Assign each subject one answer from a smaller pool (reused)."""
+        assignment = rng.integers(0, len(answers), size=len(subjects))
+        return [
+            Fact(
+                family=family,
+                subject=subject,
+                answer=answers[assignment[i]],
+                distractor_pool=tuple(a for a in answers if a != answers[assignment[i]]),
+                rare=rare,
+            )
+            for i, subject in enumerate(subjects)
+        ]
+
+    @staticmethod
+    def _match(
+        rng: np.random.Generator,
+        family: str,
+        subjects: list[str],
+        answers: list[str],
+        rare: bool = False,
+    ) -> list[Fact]:
+        """One-to-one shuffled assignment between equal-size pools."""
+        if len(subjects) != len(answers):
+            raise ValueError(f"{family}: pool sizes differ")
+        perm = rng.permutation(len(answers))
+        return [
+            Fact(
+                family=family,
+                subject=subject,
+                answer=answers[perm[i]],
+                distractor_pool=tuple(
+                    answers[j] for j in range(len(answers)) if j != perm[i]
+                ),
+                rare=rare,
+            )
+            for i, subject in enumerate(subjects)
+        ]
+
+    def all_facts(self) -> list[Fact]:
+        return [fact for family in self.facts.values() for fact in family]
+
+    def vocabulary(self) -> list[str]:
+        """Every content word the world can produce (for tokenizer building)."""
+        words: dict[str, None] = {}
+        for fact in self.all_facts():
+            for token in fact.subject.split() + [fact.answer] + list(
+                fact.distractor_pool
+            ):
+                words.setdefault(token, None)
+        return sorted(words)

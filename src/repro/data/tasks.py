@@ -1,0 +1,213 @@
+"""Synthetic benchmark suites mirroring the paper's Table 3 columns.
+
+Seven task generators, one per paper benchmark, each built on a distinct
+slice of the fact world and scored exactly as lm-eval-harness scores the
+real suites: multiple-choice by length-normalized continuation
+log-likelihood, TriviaQA by greedy-generation exact match.
+
+| suite            | analogue      | form                       | facts       |
+|------------------|---------------|----------------------------|-------------|
+| piqa_syn         | PIQA          | 2-choice tool selection    | tools       |
+| hellaswag_syn    | HellaSwag     | 4-choice next step         | sequences   |
+| winogrande_syn   | Winogrande    | 2-choice size resolution   | sizes       |
+| arc_easy_syn     | ARC-e         | 4-choice common facts      | colors      |
+| arc_challenge_syn| ARC-c         | 4-choice rare facts        | capitals    |
+| triviaqa_syn     | TriviaQA      | one-shot cloze generation  | capitals    |
+| mmlu_syn         | MMLU          | 4-choice, 2-shot, mixed    | all common  |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.facts import Fact, FactWorld
+
+
+@dataclass(frozen=True)
+class MultipleChoiceItem:
+    """Context plus options; exactly one correct."""
+
+    context: str
+    options: tuple[str, ...]
+    answer_index: int
+
+
+@dataclass(frozen=True)
+class ClozeItem:
+    """Few-shot prompt whose continuation must exactly match ``answer``."""
+
+    prompt: str
+    answer: str
+
+
+@dataclass
+class TaskSuite:
+    name: str
+    kind: str  # "multiple_choice" | "cloze"
+    items: list = field(default_factory=list)
+    n_options: int = 2
+
+    @property
+    def chance_accuracy(self) -> float:
+        if self.kind == "cloze":
+            return 0.0
+        return 1.0 / self.n_options
+
+
+def _sample_options(
+    fact: Fact, n_options: int, rng: np.random.Generator
+) -> tuple[tuple[str, ...], int]:
+    pool = [d for d in fact.distractor_pool if d != fact.answer]
+    n_distractors = min(n_options - 1, len(pool))
+    chosen = list(rng.choice(pool, size=n_distractors, replace=False))
+    options = chosen + [fact.answer]
+    rng.shuffle(options)
+    return tuple(options), options.index(fact.answer)
+
+
+def _mc_suite(
+    name: str,
+    facts: list[Fact],
+    context_fn,
+    n_options: int,
+    n_items: int,
+    rng: np.random.Generator,
+) -> TaskSuite:
+    items = []
+    for _ in range(n_items):
+        fact = facts[rng.integers(0, len(facts))]
+        options, answer = _sample_options(fact, n_options, rng)
+        items.append(
+            MultipleChoiceItem(
+                context=context_fn(fact), options=options, answer_index=answer
+            )
+        )
+    return TaskSuite(name=name, kind="multiple_choice", items=items, n_options=n_options)
+
+
+def piqa_syn(world: FactWorld, n_items: int = 64, seed: int = 101) -> TaskSuite:
+    rng = np.random.default_rng(seed)
+    return _mc_suite(
+        "piqa_syn",
+        world.facts["tools"],
+        lambda f: f"to {f.subject} you use a",
+        n_options=2,
+        n_items=n_items,
+        rng=rng,
+    )
+
+
+def hellaswag_syn(world: FactWorld, n_items: int = 64, seed: int = 102) -> TaskSuite:
+    rng = np.random.default_rng(seed)
+    def context(f: Fact) -> str:
+        activity, step = f.subject.split()
+        return f"in {activity} the step after {step} is"
+    return _mc_suite(
+        "hellaswag_syn",
+        world.facts["sequences"],
+        context,
+        n_options=4,
+        n_items=n_items,
+        rng=rng,
+    )
+
+
+def winogrande_syn(world: FactWorld, n_items: int = 64, seed: int = 103) -> TaskSuite:
+    rng = np.random.default_rng(seed)
+    def context(f: Fact) -> str:
+        s0, s1 = f.subject.split()
+        return f"between a {s0} and a {s1} the bigger one is the"
+    return _mc_suite(
+        "winogrande_syn",
+        world.facts["sizes"],
+        context,
+        n_options=2,
+        n_items=n_items,
+        rng=rng,
+    )
+
+
+def arc_easy_syn(world: FactWorld, n_items: int = 64, seed: int = 104) -> TaskSuite:
+    rng = np.random.default_rng(seed)
+    return _mc_suite(
+        "arc_easy_syn",
+        world.facts["colors"],
+        lambda f: f"the color of {f.subject} is",
+        n_options=4,
+        n_items=n_items,
+        rng=rng,
+    )
+
+
+def arc_challenge_syn(world: FactWorld, n_items: int = 64, seed: int = 105) -> TaskSuite:
+    rng = np.random.default_rng(seed)
+    return _mc_suite(
+        "arc_challenge_syn",
+        world.facts["capitals"],
+        lambda f: f"the capital of {f.subject} is",
+        n_options=4,
+        n_items=n_items,
+        rng=rng,
+    )
+
+
+def triviaqa_syn(world: FactWorld, n_items: int = 48, seed: int = 106) -> TaskSuite:
+    """One-shot cloze over the rare capital facts (paper footnote b)."""
+    rng = np.random.default_rng(seed)
+    facts = world.facts["capitals"]
+    items = []
+    for _ in range(n_items):
+        target = facts[rng.integers(0, len(facts))]
+        shot = facts[rng.integers(0, len(facts))]
+        prompt = (
+            f"the capital of {shot.subject} is {shot.answer} . "
+            f"the capital of {target.subject} is"
+        )
+        items.append(ClozeItem(prompt=prompt, answer=target.answer))
+    return TaskSuite(name="triviaqa_syn", kind="cloze", items=items)
+
+
+def mmlu_syn(world: FactWorld, n_items: int = 64, seed: int = 107) -> TaskSuite:
+    """Mixed-subject 4-choice with a 2-shot prompt per item."""
+    rng = np.random.default_rng(seed)
+    subjects = {
+        "colors": lambda f: f"the color of {f.subject} is",
+        "habitats": lambda f: f"the {f.subject} lives in the",
+        "categories": lambda f: f"a {f.subject} is a kind of",
+        "tools": lambda f: f"to {f.subject} you use a",
+    }
+    items = []
+    names = list(subjects)
+    for _ in range(n_items):
+        family = names[rng.integers(0, len(names))]
+        facts = world.facts[family]
+        context_fn = subjects[family]
+        target = facts[rng.integers(0, len(facts))]
+        shots = [facts[rng.integers(0, len(facts))] for _ in range(2)]
+        prefix = " . ".join(f"{context_fn(s)} {s.answer}" for s in shots)
+        options, answer = _sample_options(target, 4, rng)
+        items.append(
+            MultipleChoiceItem(
+                context=f"{prefix} . {context_fn(target)}",
+                options=options,
+                answer_index=answer,
+            )
+        )
+    return TaskSuite(name="mmlu_syn", kind="multiple_choice", items=items, n_options=4)
+
+
+def standard_suites(
+    world: FactWorld, n_items: int = 64, seed: int = 100
+) -> list[TaskSuite]:
+    """The seven suites in the paper's column order."""
+    return [
+        piqa_syn(world, n_items, seed + 1),
+        hellaswag_syn(world, n_items, seed + 2),
+        winogrande_syn(world, n_items, seed + 3),
+        arc_easy_syn(world, n_items, seed + 4),
+        arc_challenge_syn(world, n_items, seed + 5),
+        triviaqa_syn(world, max(n_items * 3 // 4, 8), seed + 6),
+        mmlu_syn(world, n_items, seed + 7),
+    ]

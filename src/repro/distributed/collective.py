@@ -1,0 +1,117 @@
+"""Collectives over a :class:`~repro.distributed.learner.LearnerGroup`.
+
+Data movement is real (buffers are copied between device-tagged storages)
+and every transfer is logged in the global traffic ledger, so experiments
+can report the communication cost the paper acknowledges for uniquification
+and sharding ("the sharded weights need to be all-gathered").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.learner import LearnerGroup
+from repro.memory.traffic import global_ledger
+from repro.tensor.device import Device
+from repro.tensor.dtype import DType
+from repro.tensor.tensor import Tensor
+
+
+class ShardedTensor:
+    """A tensor row-partitioned across the learners of a group.
+
+    Shard ``i`` physically resides on ``group.devices[i]``; the logical
+    tensor is the concatenation of shards along dim 0.
+    """
+
+    def __init__(
+        self, shards: list[Tensor], group: LearnerGroup, full_shape: tuple[int, ...]
+    ) -> None:
+        if len(shards) != group.n_learners:
+            raise ValueError(
+                f"{len(shards)} shards for {group.n_learners} learners"
+            )
+        self.shards = shards
+        self.group = group
+        self.full_shape = tuple(full_shape)
+
+    @property
+    def dtype(self) -> DType:
+        return self.shards[0].dtype
+
+    @property
+    def local_shard(self) -> Tensor:
+        """Learner 0's shard (the one whose footprint experiments report)."""
+        return self.shards[0]
+
+    @property
+    def nbytes_per_learner(self) -> int:
+        return max(shard.nbytes for shard in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTensor(full_shape={self.full_shape}, "
+            f"n_shards={len(self.shards)}, dtype={self.dtype.name})"
+        )
+
+
+def shard_rows(tensor: Tensor, group: LearnerGroup, tag: str = "shard") -> ShardedTensor:
+    """Partition ``tensor`` row-wise onto the group's devices.
+
+    The transfer of every non-local shard is logged (learner 0 scatters to
+    its peers in the synchronous setup).
+    """
+    values = np.ascontiguousarray(tensor._np())
+    chunks = np.array_split(values, group.n_learners, axis=0)
+    shards = []
+    for chunk, dev in zip(chunks, group.devices):
+        shard = Tensor.from_numpy(chunk.copy(), dtype=tensor.dtype, device=dev)
+        if dev != tensor.device:
+            global_ledger().record(tensor.device.name, dev.name, shard.nbytes, tag=tag)
+        shards.append(shard)
+    return ShardedTensor(shards, group, values.shape)
+
+
+def all_gather(
+    sharded: ShardedTensor, device: Device, tag: str = "all_gather"
+) -> Tensor:
+    """Reassemble the full tensor on ``device``, logging per-shard traffic."""
+    pieces = []
+    for shard in sharded.shards:
+        pieces.append(shard._np())
+        if shard.device != device:
+            global_ledger().record(shard.device.name, device.name, shard.nbytes, tag=tag)
+    full = np.concatenate(pieces, axis=0).reshape(sharded.full_shape)
+    return Tensor.from_numpy(full, dtype=sharded.dtype, device=device)
+
+
+def all_reduce_mean(tensors: list[Tensor], tag: str = "all_reduce") -> None:
+    """In-place mean across per-learner replicas (gradient synchronization)."""
+    if not tensors:
+        raise ValueError("all_reduce_mean over zero tensors")
+    shapes = {t.shape for t in tensors}
+    if len(shapes) != 1:
+        raise ValueError(f"mismatched replica shapes: {shapes}")
+    mean = np.mean([t._compute() for t in tensors], axis=0)
+    for t in tensors:
+        for other in tensors:
+            if other.device != t.device:
+                global_ledger().record(
+                    other.device.name, t.device.name, t.nbytes, tag=tag
+                )
+        break  # ring cost approximation: one full exchange
+    for t in tensors:
+        t.copy_(mean)
+
+
+def broadcast(tensor: Tensor, group: LearnerGroup, tag: str = "broadcast") -> list[Tensor]:
+    """Replicate ``tensor`` onto every learner device."""
+    replicas = []
+    for dev in group.devices:
+        if dev == tensor.device:
+            replicas.append(tensor)
+        else:
+            replica = Tensor.from_numpy(tensor._np(), dtype=tensor.dtype, device=dev)
+            global_ledger().record(tensor.device.name, dev.name, replica.nbytes, tag=tag)
+            replicas.append(replica)
+    return replicas

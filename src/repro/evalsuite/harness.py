@@ -1,0 +1,140 @@
+"""LM-eval-harness-style scoring.
+
+Multiple choice: each option is appended to the context; the option with
+the highest *length-normalized* sum of token log-likelihoods wins (the rule
+lm-eval uses for PIQA/HellaSwag/ARC/MMLU).  Cloze (TriviaQA): greedy
+generation, exact string match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.tasks import ClozeItem, MultipleChoiceItem, TaskSuite
+from repro.llm.generate import generate
+from repro.llm.tokenizer import WordTokenizer
+from repro.nn import Module
+from repro.tensor import ops
+from repro.tensor.autograd import no_grad
+from repro.tensor.device import Device
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class SuiteResult:
+    suite: str
+    accuracy: float  # percent
+    n_items: int
+    chance: float  # percent
+
+    def __str__(self) -> str:
+        return f"{self.suite}: {self.accuracy:.1f}% (chance {self.chance:.1f}%)"
+
+
+@dataclass
+class EvalReport:
+    results: dict[str, SuiteResult] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([r.accuracy for r in self.results.values()]))
+
+    def as_row(self, order: list[str]) -> list[float]:
+        return [self.results[name].accuracy for name in order]
+
+
+def option_log_likelihood(
+    model: Module,
+    tokenizer: WordTokenizer,
+    context: str,
+    option: str,
+    device: Device,
+) -> float:
+    """Length-normalized log p(option tokens | context)."""
+    context_ids = tokenizer.encode(context, bos=True)
+    option_ids = tokenizer.encode(option)
+    if not option_ids:
+        raise ValueError(f"option {option!r} tokenizes to nothing")
+    full = context_ids + option_ids
+    tokens = Tensor.from_numpy(np.asarray([full], dtype=np.int64), device=device)
+    with no_grad():
+        logits = model(tokens)
+        log_probs = ops.log_softmax(logits, dim=-1)._np()[0]
+    total = 0.0
+    for position, token_id in enumerate(option_ids):
+        # Token at full-index len(context_ids)+position is predicted from
+        # the previous position.
+        total += float(log_probs[len(context_ids) + position - 1, token_id])
+    return total / len(option_ids)
+
+
+def score_multiple_choice(
+    model: Module,
+    tokenizer: WordTokenizer,
+    suite: TaskSuite,
+    device: Device,
+) -> SuiteResult:
+    correct = 0
+    for item in suite.items:
+        assert isinstance(item, MultipleChoiceItem)
+        scores = [
+            option_log_likelihood(model, tokenizer, item.context, option, device)
+            for option in item.options
+        ]
+        if int(np.argmax(scores)) == item.answer_index:
+            correct += 1
+    return SuiteResult(
+        suite=suite.name,
+        accuracy=100.0 * correct / max(len(suite.items), 1),
+        n_items=len(suite.items),
+        chance=100.0 * suite.chance_accuracy,
+    )
+
+
+def score_cloze(
+    model: Module,
+    tokenizer: WordTokenizer,
+    suite: TaskSuite,
+    device: Device,
+) -> SuiteResult:
+    correct = 0
+    for item in suite.items:
+        assert isinstance(item, ClozeItem)
+        n_answer_tokens = len(tokenizer.encode(item.answer))
+        prediction = generate(
+            model, tokenizer, item.prompt, max_new_tokens=n_answer_tokens, device=device
+        )
+        if prediction.strip() == item.answer.strip():
+            correct += 1
+    return SuiteResult(
+        suite=suite.name,
+        accuracy=100.0 * correct / max(len(suite.items), 1),
+        n_items=len(suite.items),
+        chance=0.0,
+    )
+
+
+def evaluate_suites(
+    model: Module,
+    tokenizer: WordTokenizer,
+    suites: list[TaskSuite],
+    device: Device,
+) -> EvalReport:
+    """Score every suite with the model in eval (deployment) mode."""
+    was_training = model.training
+    model.eval()
+    report = EvalReport()
+    try:
+        for suite in suites:
+            if suite.kind == "multiple_choice":
+                result = score_multiple_choice(model, tokenizer, suite, device)
+            elif suite.kind == "cloze":
+                result = score_cloze(model, tokenizer, suite, device)
+            else:
+                raise ValueError(f"unknown suite kind {suite.kind!r}")
+            report.results[suite.name] = result
+    finally:
+        model.train(was_training)
+    return report

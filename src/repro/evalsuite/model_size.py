@@ -1,0 +1,148 @@
+"""Analytic model-size and memory arithmetic at true LLaMA-7B dimensions.
+
+The paper's GB-scale numbers are arithmetic over the architecture spec, not
+measurements: 12.6 GB for fp16 LLaMA-7B, >=224 GB for the 4-bit attention
+map, 2.5 GB for the 3-bit eDKM model, 3.0-3.7 GB for the group-quantized
+baselines.  This module reproduces that arithmetic for any
+:class:`~repro.llm.config.ModelSpec` and quantization scheme, so Table 3's
+"Model Size (GB)" column and the Section 1/2 claims can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.config import ModelSpec
+
+GB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """How each part of the model is stored.
+
+    Attributes:
+        name: display name (Table 3 row label).
+        body_bits: bits per body (Linear) weight; 16 means uncompressed.
+        group_size: for uniform schemes, weights per quantization group
+            (each group carries a 16-bit scale and, if ``asymmetric``, a
+            ``body_bits``-bit zero point).  ``None`` means per-channel
+            (one scale per output row).
+        lut_entries: for palettized schemes (eDKM), LUT entries per weight
+            tensor (16-bit each); uniform schemes leave it 0.
+        embed_bits: bits per embedding/LM-head-input table weight.
+        asymmetric: whether groups store zero points.
+    """
+
+    name: str
+    body_bits: int
+    group_size: int | None = None
+    lut_entries: int = 0
+    embed_bits: int = 16
+    asymmetric: bool = False
+
+    def body_overhead_bits_per_weight(self, rows: int, row_len: int) -> float:
+        """Scale/zero/LUT overhead amortized per weight of one tensor."""
+        n = rows * row_len
+        if self.lut_entries:
+            return 16.0 * self.lut_entries / n
+        if self.body_bits >= 16:
+            return 0.0
+        if self.group_size is None:
+            groups = rows
+        else:
+            groups = n / self.group_size
+        bits = 16.0 * groups  # fp16 scale per group
+        if self.asymmetric:
+            bits += self.body_bits * groups
+        return bits / n
+
+
+def fp16_size_bytes(spec: ModelSpec) -> float:
+    """Whole model at 16 bits per parameter."""
+    return 2.0 * spec.total_params()
+
+
+def _body_tensors(spec: ModelSpec) -> list[tuple[int, int]]:
+    """(rows, row_len) of every Linear weight in the model."""
+    tensors = []
+    for _ in range(spec.n_layers):
+        tensors.extend([(spec.dim, spec.dim)] * 4)  # q, k, v, o
+        tensors.extend(
+            [
+                (spec.hidden_dim, spec.dim),  # gate
+                (spec.hidden_dim, spec.dim),  # up
+                (spec.dim, spec.hidden_dim),  # down
+            ]
+        )
+    tensors.append((spec.vocab_size, spec.dim))  # lm head
+    return tensors
+
+
+def model_size_bytes(spec: ModelSpec, scheme: QuantScheme) -> float:
+    """Serialized model bytes under ``scheme``."""
+    total = 0.0
+    for rows, row_len in _body_tensors(spec):
+        n = rows * row_len
+        bits = scheme.body_bits + scheme.body_overhead_bits_per_weight(rows, row_len)
+        total += n * bits / 8.0
+    embed = spec.embedding_params()
+    embed_bits = float(scheme.embed_bits)
+    if scheme.embed_bits < 16 and scheme.lut_entries:
+        # Palettized embeddings carry a 256-entry LUT (8-bit clustering).
+        embed_bits += 16.0 * 256 / embed
+    total += embed * embed_bits / 8.0
+    total += 2.0 * spec.norm_params()  # norms stay fp16
+    return total
+
+
+def model_size_gb(spec: ModelSpec, scheme: QuantScheme) -> float:
+    return model_size_bytes(spec, scheme) / GB
+
+
+def attention_map_bytes(spec: ModelSpec, bits: int, map_dtype_bytes: int = 2) -> float:
+    """Dense DKM attention-map bytes for the whole model.
+
+    The paper's Section 2 claim: LLaMA-7B at 4-bit clustering "needs at
+    least 224 GB" -- total params x 2**bits centroids x 2 bytes.
+    """
+    return float(spec.total_params()) * (2**bits) * map_dtype_bytes
+
+
+def decoder_stack_attention_map_bytes(
+    spec: ModelSpec, bits: int, map_dtype_bytes: int = 2
+) -> float:
+    """Attention-map bytes for the decoder body only (Table 2 scope)."""
+    return float(spec.body_params()) * (2**bits) * map_dtype_bytes
+
+
+# Table 3 row schemes -------------------------------------------------------
+
+def paper_schemes() -> dict[str, QuantScheme]:
+    """The compression schemes of Table 3, as size-arithmetic configs."""
+    return {
+        "fp16": QuantScheme(name="LLaMA-7B", body_bits=16),
+        "rtn4": QuantScheme(name="RTN", body_bits=4, group_size=None, embed_bits=4),
+        "rtn3": QuantScheme(name="RTN", body_bits=3, group_size=None, embed_bits=3),
+        "gptq4_g128": QuantScheme(
+            name="GPTQ g128", body_bits=4, group_size=128, asymmetric=True
+        ),
+        "awq4_g128": QuantScheme(
+            name="AWQ g128", body_bits=4, group_size=128, asymmetric=True
+        ),
+        "llmqat4": QuantScheme(
+            name="LLM-QAT", body_bits=4, group_size=None, embed_bits=4
+        ),
+        "gptq3_g128": QuantScheme(
+            name="GPTQ g128", body_bits=3, group_size=128, asymmetric=True
+        ),
+        "awq3_g128": QuantScheme(
+            name="AWQ g128", body_bits=3, group_size=128, asymmetric=True
+        ),
+        "edkm3": QuantScheme(
+            name="eDKM", body_bits=3, lut_entries=8, embed_bits=8
+        ),
+        "edkm4": QuantScheme(
+            name="eDKM", body_bits=4, lut_entries=16, embed_bits=8
+        ),
+    }

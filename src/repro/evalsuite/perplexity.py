@@ -1,0 +1,46 @@
+"""Held-out perplexity (secondary quality metric)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.llm.tokenizer import WordTokenizer
+from repro.nn import Module, token_log_likelihoods
+from repro.tensor.autograd import no_grad
+from repro.tensor.device import Device
+from repro.tensor.tensor import Tensor
+
+
+def perplexity(
+    model: Module,
+    tokenizer: WordTokenizer,
+    sentences: list[str],
+    device: Device,
+) -> float:
+    """Corpus-level perplexity: exp of mean negative token log-likelihood."""
+    total_ll = 0.0
+    total_tokens = 0
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for sentence in sentences:
+                ids = tokenizer.encode(sentence, bos=True, eos=True)
+                if len(ids) < 2:
+                    continue
+                tokens = Tensor.from_numpy(
+                    np.asarray([ids[:-1]], dtype=np.int64), device=device
+                )
+                targets = Tensor.from_numpy(
+                    np.asarray([ids[1:]], dtype=np.int64), device=device
+                )
+                lls = token_log_likelihoods(model(tokens), targets)
+                total_ll += float(lls.sum())
+                total_tokens += lls.size
+    finally:
+        model.train(was_training)
+    if total_tokens == 0:
+        raise ValueError("no scorable tokens")
+    return math.exp(-total_ll / total_tokens)

@@ -1,0 +1,20 @@
+"""LLM substrate: tokenizer, model presets, generation, fine-tuning."""
+
+from repro.llm.config import LLAMA_7B, MICRO, SMALL, TINY, ModelSpec, build_model
+from repro.llm.finetune import FinetuneConfig, TrainResult, train_causal_lm
+from repro.llm.generate import generate
+from repro.llm.tokenizer import WordTokenizer
+
+__all__ = [
+    "LLAMA_7B",
+    "MICRO",
+    "SMALL",
+    "TINY",
+    "ModelSpec",
+    "build_model",
+    "FinetuneConfig",
+    "TrainResult",
+    "train_causal_lm",
+    "generate",
+    "WordTokenizer",
+]

@@ -1,0 +1,50 @@
+"""Autoregressive generation (greedy and temperature sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.tokenizer import WordTokenizer
+from repro.nn import Transformer
+from repro.tensor.autograd import no_grad
+from repro.tensor.device import Device
+from repro.tensor.tensor import Tensor
+
+
+def generate(
+    model: Transformer,
+    tokenizer: WordTokenizer,
+    prompt: str,
+    max_new_tokens: int = 8,
+    temperature: float = 0.0,
+    device: Device | None = None,
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Continue ``prompt``; returns only the newly generated text.
+
+    ``temperature == 0`` is greedy decoding; generation stops early at EOS.
+    """
+    device = device or model.embed.weight.device
+    rng = rng or np.random.default_rng(0)
+    ids = tokenizer.encode(prompt, bos=True)
+    generated: list[int] = []
+    with no_grad():
+        for _ in range(max_new_tokens):
+            window = ids[-model.max_seq_len :]
+            tokens = Tensor.from_numpy(
+                np.asarray([window], dtype=np.int64), device=device
+            )
+            logits = model(tokens)
+            last = logits[0, len(window) - 1]._compute()
+            if temperature > 0:
+                scaled = last / temperature
+                scaled -= scaled.max()
+                probs = np.exp(scaled) / np.exp(scaled).sum()
+                next_id = int(rng.choice(len(probs), p=probs))
+            else:
+                next_id = int(np.argmax(last))
+            if next_id == tokenizer.eos_id:
+                break
+            ids.append(next_id)
+            generated.append(next_id)
+    return tokenizer.decode(generated)

@@ -1,0 +1,32 @@
+"""Human-readable formatting of memory measurements."""
+
+from __future__ import annotations
+
+from repro.memory.tracker import MemoryTracker
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(nbytes: float, precision: int = 2) -> str:
+    """Render a byte count with a binary-1024 unit, e.g. ``4.00 MB``."""
+    value = float(nbytes)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for unit in _UNITS:
+        if value < 1024.0 or unit == _UNITS[-1]:
+            return f"{sign}{value:.{precision}f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def footprint_table(trackers: list[MemoryTracker]) -> str:
+    """A small fixed-width table of current/peak residency per device."""
+    header = f"{'device':<12} {'current':>12} {'peak':>12}"
+    lines = [header, "-" * len(header)]
+    for tracker in trackers:
+        lines.append(
+            f"{tracker.name:<12} "
+            f"{format_bytes(tracker.current_bytes):>12} "
+            f"{format_bytes(tracker.peak_bytes):>12}"
+        )
+    return "\n".join(lines)

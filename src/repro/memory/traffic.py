@@ -1,0 +1,71 @@
+"""Cross-device transfer ledger.
+
+eDKM's marshaling exists to cut GPU<->CPU traffic: every avoided copy is both
+bytes not moved and a transaction not issued.  The ledger records each
+transfer with its endpoints and size so experiments can report totals per
+direction, mirroring the "traffic between GPU and CPU" discussion in the
+paper's Section 2.1.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A single cross-device copy."""
+
+    src: str
+    dst: str
+    nbytes: int
+    tag: str = ""
+
+
+class TrafficLedger:
+    """Append-only log of :class:`Transfer` events with cheap aggregates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._transfers: list[Transfer] = []
+
+    def record(self, src: str, dst: str, nbytes: int, tag: str = "") -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer of {nbytes} bytes")
+        with self._lock:
+            self._transfers.append(Transfer(src=src, dst=dst, nbytes=nbytes, tag=tag))
+
+    def transfers(self) -> list[Transfer]:
+        with self._lock:
+            return list(self._transfers)
+
+    def total_bytes(self, src: str | None = None, dst: str | None = None) -> int:
+        return sum(t.nbytes for t in self._select(src, dst))
+
+    def transaction_count(self, src: str | None = None, dst: str | None = None) -> int:
+        return len(self._select(src, dst))
+
+    def _select(self, src: str | None, dst: str | None) -> list[Transfer]:
+        with self._lock:
+            return [
+                t
+                for t in self._transfers
+                if (src is None or t.src == src) and (dst is None or t.dst == dst)
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._transfers.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._transfers)
+
+
+_GLOBAL_LEDGER = TrafficLedger()
+
+
+def global_ledger() -> TrafficLedger:
+    """The process-wide ledger used by ``Tensor.to``."""
+    return _GLOBAL_LEDGER

@@ -1,0 +1,28 @@
+"""Neural-network layer library (LLaMA-architecture building blocks)."""
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.linear import Embedding, Linear
+from repro.nn.loss import IGNORE_INDEX, cross_entropy, token_log_likelihoods
+from repro.nn.mlp import SwiGLUMLP
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.norm import LayerNorm, RMSNorm
+from repro.nn.rope import RotaryEmbedding
+from repro.nn.transformer import DecoderLayer, Transformer
+
+__all__ = [
+    "MultiHeadAttention",
+    "Embedding",
+    "Linear",
+    "IGNORE_INDEX",
+    "cross_entropy",
+    "token_log_likelihoods",
+    "SwiGLUMLP",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "LayerNorm",
+    "RMSNorm",
+    "RotaryEmbedding",
+    "DecoderLayer",
+    "Transformer",
+]

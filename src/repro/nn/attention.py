@@ -1,0 +1,65 @@
+"""Multi-head causal self-attention (the Table 2 workload).
+
+The paper's ablation (Table 2) measures "one attention layer from the LLaMA
+7B decoder stack" under 3-bit DKM compression.  This module is that layer:
+four Linear projections -- whose weights the DKM layer re-clusters on every
+forward -- plus RoPE, causal masking and softmax attention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.rope import RotaryEmbedding
+from repro.tensor import ops
+from repro.tensor.dtype import DType, float32
+from repro.tensor.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        max_seq_len: int = 512,
+        dtype: DType | str = float32,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.q_proj = Linear(dim, dim, bias=False, dtype=dtype, rng=rng)
+        self.k_proj = Linear(dim, dim, bias=False, dtype=dtype, rng=rng)
+        self.v_proj = Linear(dim, dim, bias=False, dtype=dtype, rng=rng)
+        self.o_proj = Linear(dim, dim, bias=False, dtype=dtype, rng=rng)
+        self.rope = RotaryEmbedding(self.head_dim, max_seq_len)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).permute(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, head_dim = x.shape
+        return x.permute(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Causal self-attention over ``x`` of shape (batch, seq, dim)."""
+        seq_len = x.shape[1]
+        q = self.rope.apply(self._split_heads(self.q_proj(x)))
+        k = self.rope.apply(self._split_heads(self.k_proj(x)))
+        v = self._split_heads(self.v_proj(x))
+
+        scores = (q @ k.transpose(2, 3)) * (1.0 / math.sqrt(self.head_dim))
+        mask = ops.causal_mask(seq_len)
+        scores = ops.masked_fill(scores, mask, -1e9)
+        weights = ops.softmax(scores, dim=-1)
+        context = self._merge_heads(weights @ v)
+        return self.o_proj(context)

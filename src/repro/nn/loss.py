@@ -1,0 +1,46 @@
+"""Losses for language-model training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+IGNORE_INDEX = -100
+
+
+def cross_entropy(logits: Tensor, targets: Tensor, ignore_index: int = IGNORE_INDEX) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits``: (..., vocab); ``targets``: integer tensor of the leading
+    shape.  Positions equal to ``ignore_index`` (the Alpaca instruction mask)
+    contribute nothing to the loss.
+    """
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    targets_np = targets._np().reshape(-1)
+    keep = targets_np != ignore_index
+    if not keep.any():
+        raise ValueError("all target positions are masked out")
+    safe_targets = np.where(keep, targets_np, 0).astype(np.int64)
+
+    log_probs = ops.log_softmax(flat_logits, dim=-1)
+    idx = Tensor.from_numpy(safe_targets.reshape(-1, 1), device=logits.device)
+    picked = ops.take_along_dim(log_probs, idx, dim=1).reshape(-1)
+
+    weights = Tensor.from_numpy(
+        (keep.astype(np.float32) / float(keep.sum())), device=logits.device
+    )
+    return (picked * weights).sum() * -1.0
+
+
+def token_log_likelihoods(logits: Tensor, targets: Tensor) -> np.ndarray:
+    """Per-position log p(target) -- used by the evaluation harness."""
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    log_probs = ops.log_softmax(flat_logits, dim=-1)
+    targets_np = targets._np().reshape(-1, 1).astype(np.int64)
+    idx = Tensor.from_numpy(targets_np, device=logits.device)
+    picked = ops.take_along_dim(log_probs, idx, dim=1)
+    return picked._np().reshape(targets.shape).copy()

@@ -1,0 +1,33 @@
+"""SwiGLU feed-forward block (the LLaMA MLP)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import ops
+from repro.tensor.dtype import DType, float32
+from repro.tensor.tensor import Tensor
+
+
+class SwiGLUMLP(Module):
+    """``down( silu(gate(x)) * up(x) )`` with three weight matrices."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        dtype: DType | str = float32,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.gate_proj = Linear(dim, hidden_dim, bias=False, dtype=dtype, rng=rng)
+        self.up_proj = Linear(dim, hidden_dim, bias=False, dtype=dtype, rng=rng)
+        self.down_proj = Linear(hidden_dim, dim, bias=False, dtype=dtype, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(ops.silu(self.gate_proj(x)) * self.up_proj(x))

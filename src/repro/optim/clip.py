@@ -1,0 +1,30 @@
+"""Global-norm gradient clipping (paper uses max-norm 1.0)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm_(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients in place so the global L2 norm <= ``max_norm``.
+
+    Returns the pre-clip global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total_sq = 0.0
+    grads = []
+    for param in params:
+        if param.grad is None:
+            continue
+        g = param.grad._compute()
+        total_sq += float((g * g).sum())
+        grads.append((param, g))
+    total_norm = math.sqrt(total_sq)
+    if total_norm > max_norm and total_norm > 0:
+        scale = max_norm / total_norm
+        for param, g in grads:
+            param.grad.copy_(g * scale)
+    return total_norm

@@ -1,0 +1,52 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class ConstantLR:
+    """No-op schedule (keeps the optimizer's configured rate)."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineWithWarmup:
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step <= self.warmup_steps and self.warmup_steps > 0:
+            lr = self.base_lr * self._step / self.warmup_steps
+        else:
+            progress = (self._step - self.warmup_steps) / (
+                self.total_steps - self.warmup_steps
+            )
+            progress = min(progress, 1.0)
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1.0 + math.cos(math.pi * progress)
+            )
+        self.optimizer.lr = lr
+        return lr

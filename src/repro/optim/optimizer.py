@@ -1,0 +1,25 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds the parameter list and the shared step/zero_grad protocol."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError

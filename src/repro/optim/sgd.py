@@ -1,0 +1,35 @@
+"""Plain SGD with optional momentum (used by small tests and ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad._compute()
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                velocity = (
+                    grad if velocity is None else self.momentum * velocity + grad
+                )
+                self._velocity[id(param)] = velocity
+                grad = velocity
+            param.copy_(param._compute() - self.lr * grad)

@@ -1,0 +1,52 @@
+"""Simulated devices.
+
+All data physically lives in host numpy arrays; a :class:`Device` is a named
+accounting domain with its own :class:`~repro.memory.tracker.MemoryTracker`.
+``"gpu"`` and ``"cpu"`` model the accelerator and host of a single learner;
+sharding experiments additionally use per-learner devices like ``"cpu:3"``.
+"""
+
+from __future__ import annotations
+
+from repro.memory.tracker import MemoryTracker, global_registry
+
+
+class Device:
+    """A named memory domain.
+
+    Two Device objects with the same name are the same device (interned via
+    :func:`device`); identity comparisons are therefore safe.
+    """
+
+    def __init__(self, name: str, tracker: MemoryTracker) -> None:
+        self.name = name
+        self.tracker = tracker
+
+    def __repr__(self) -> str:
+        return f"device({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Device) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+_INTERNED: dict[str, Device] = {}
+
+
+def device(spec: "Device | str") -> Device:
+    """Resolve a device name (or pass through a Device) to the interned object."""
+    if isinstance(spec, Device):
+        return spec
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"invalid device spec {spec!r}")
+    dev = _INTERNED.get(spec)
+    if dev is None:
+        dev = Device(spec, global_registry().get(spec))
+        _INTERNED[spec] = dev
+    return dev
+
+
+CPU = device("cpu")
+GPU = device("gpu")

@@ -1,0 +1,149 @@
+"""Nonlinearities.
+
+``Softmax`` is the op at the centre of the paper: DKM's attention map *is* a
+softmax output saved for backward, and its ``O(|W|·|C|)`` saved tensor is
+what eDKM compresses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.autograd import Context, Function
+from repro.tensor.tensor import Tensor
+from repro.tensor.ops._common import make_result
+
+
+def _stable_softmax(x: np.ndarray, axis: int) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Branch-indexed logistic; avoids exp overflow on either tail."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    e = np.exp(x[~positive])
+    out[~positive] = e / (1.0 + e)
+    return out
+
+
+class Softmax(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int) -> Tensor:
+        dim = dim % a.ndim
+        ctx.dim = dim
+        out = make_result(_stable_softmax(a._compute(), dim), a.dtype, a.device)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (out,) = ctx.saved_tensors
+        y = out._compute()
+        inner = (grad * y).sum(axis=ctx.dim, keepdims=True)
+        return (y * (grad - inner),)
+
+
+class LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int) -> Tensor:
+        dim = dim % a.ndim
+        ctx.dim = dim
+        x = a._compute()
+        shifted = x - x.max(axis=dim, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=dim, keepdims=True))
+        out = make_result(shifted - log_z, a.dtype, a.device)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (out,) = ctx.saved_tensors
+        softmax = np.exp(out._compute())
+        return (grad - softmax * grad.sum(axis=ctx.dim, keepdims=True),)
+
+
+class Relu(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor) -> Tensor:
+        a_np = a._compute()
+        ctx.mask = (a_np > 0).astype(a.dtype.np_compute)
+        return make_result(np.maximum(a_np, 0.0), a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        return (grad * ctx.mask,)
+
+
+class Sigmoid(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor) -> Tensor:
+        x = a._compute()
+        out = make_result(_stable_sigmoid(x), a.dtype, a.device)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (out,) = ctx.saved_tensors
+        y = out._compute()
+        return (grad * y * (1.0 - y),)
+
+
+class Tanh(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor) -> Tensor:
+        out = make_result(np.tanh(a._compute()), a.dtype, a.device)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (out,) = ctx.saved_tensors
+        y = out._compute()
+        return (grad * (1.0 - y * y),)
+
+
+class Silu(Function):
+    """x * sigmoid(x) -- the LLaMA MLP activation."""
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor) -> Tensor:
+        ctx.save_for_backward(a)
+        x = a._compute()
+        sig = _stable_sigmoid(x)
+        return make_result(x * sig, a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (a,) = ctx.saved_tensors
+        x = a._compute()
+        sig = _stable_sigmoid(x)
+        return (grad * (sig + x * sig * (1.0 - sig)),)
+
+
+class Gelu(Function):
+    """Tanh-approximation GELU."""
+
+    _C = float(np.sqrt(2.0 / np.pi))
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor) -> Tensor:
+        ctx.save_for_backward(a)
+        x = a._compute()
+        inner = Gelu._C * (x + 0.044715 * x**3)
+        return make_result(0.5 * x * (1.0 + np.tanh(inner)), a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (a,) = ctx.saved_tensors
+        x = a._compute()
+        inner = Gelu._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        d_inner = Gelu._C * (1.0 + 3.0 * 0.044715 * x**2)
+        return (grad * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner),)

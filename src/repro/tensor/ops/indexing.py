@@ -1,0 +1,117 @@
+"""Integer indexing ops.
+
+``IndexSelect`` is the gather primitive: embeddings in the LLM substrate and
+the attention-table lookup in eDKM's uniquification (``table[index_list]``)
+both reduce to it.  Its saved index tensor is exactly the "index list" of the
+paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.autograd import Context, Function
+from repro.tensor.tensor import Tensor
+from repro.tensor.ops._common import check_same_device, make_result
+
+
+class IndexSelect(Function):
+    """``weight[indices]`` along dim 0 with integer index tensor."""
+
+    @staticmethod
+    def forward(ctx: Context, weight: Tensor, indices: Tensor) -> Tensor:
+        check_same_device(weight, indices)
+        if indices.dtype.is_floating:
+            raise TypeError("indices must be an integer tensor")
+        idx = indices._np()
+        if idx.size and (idx.min() < 0 or idx.max() >= weight.shape[0]):
+            raise IndexError(
+                f"index out of range [0, {weight.shape[0]}) in index_select"
+            )
+        ctx.weight_shape = weight.shape
+        ctx.save_for_backward(indices)
+        return make_result(weight._compute()[idx], weight.dtype, weight.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (indices,) = ctx.saved_tensors
+        g = np.zeros(ctx.weight_shape, dtype=grad.dtype)
+        np.add.at(g, indices._np().astype(np.int64, copy=False), grad)
+        return (g, None)
+
+
+class TakeAlongDim(Function):
+    """``np.take_along_axis`` with gradient (used by cross-entropy)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, indices: Tensor, dim: int) -> Tensor:
+        check_same_device(a, indices)
+        dim = dim % a.ndim
+        ctx.dim = dim
+        ctx.in_shape = a.shape
+        ctx.save_for_backward(indices)
+        out = np.take_along_axis(
+            a._compute(), indices._np().astype(np.int64, copy=False), axis=dim
+        )
+        return make_result(out, a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        (indices,) = ctx.saved_tensors
+        g = np.zeros(ctx.in_shape, dtype=grad.dtype)
+        idx = indices._np().astype(np.int64, copy=False)
+        # Accumulating scatter: duplicate indices must sum their grads.
+        np.add.at(g, _along_axis_key(idx, ctx.dim, ctx.in_shape), grad)
+        return (g, None)
+
+
+def _along_axis_key(
+    idx: np.ndarray, dim: int, shape: tuple[int, ...]
+) -> tuple[np.ndarray, ...]:
+    """Fancy-index key equivalent to take_along_axis's implicit key."""
+    grids = np.ogrid[tuple(slice(s) for s in idx.shape)]
+    key = list(np.broadcast_arrays(*grids))
+    key[dim] = idx
+    return tuple(key)
+
+
+class MaskedFill(Function):
+    """Replace masked positions with ``value`` (no grad through them)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, mask: np.ndarray, value: float) -> Tensor:
+        mask = np.asarray(mask, dtype=bool)
+        out = a._compute().copy()
+        broadcast_mask = np.broadcast_to(mask, out.shape)
+        out[broadcast_mask] = value
+        ctx.mask = broadcast_mask
+        return make_result(out, a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        g = grad.copy()
+        g[ctx.mask] = 0.0
+        return (g,)
+
+
+class Where(Function):
+    """Elementwise select between two tensors by a boolean mask."""
+
+    @staticmethod
+    def forward(ctx: Context, condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+        check_same_device(a, b)
+        cond = np.asarray(condition, dtype=bool)
+        out = np.where(cond, a._compute(), b._compute())
+        ctx.cond = np.broadcast_to(cond, out.shape)
+        ctx.a_shape, ctx.b_shape = a.shape, b.shape
+        return make_result(out, a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        from repro.tensor.autograd import unbroadcast
+
+        ga = unbroadcast(np.where(ctx.cond, grad, 0.0), ctx.a_shape)
+        gb = unbroadcast(np.where(ctx.cond, 0.0, grad), ctx.b_shape)
+        return (ga, gb)

@@ -1,0 +1,56 @@
+"""Matrix multiplication with batch broadcasting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.autograd import Context, Function
+from repro.tensor.dtype import promote
+from repro.tensor.tensor import Tensor
+from repro.tensor.ops._common import check_same_device, make_result
+
+
+def _unbroadcast_batch(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum the batch dims ``np.matmul`` broadcast, leaving the matrix dims."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(
+        i for i in range(grad.ndim - 2) if shape[i] == 1 and grad.shape[i] != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class MatMul(Function):
+    """``a @ b`` for operands with ``ndim >= 2`` (wrappers handle vectors)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, b: Tensor) -> Tensor:
+        check_same_device(a, b)
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError(
+                f"MatMul requires ndim >= 2 operands, got {a.ndim} and {b.ndim}"
+            )
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"matmul shape mismatch: {a.shape} @ {b.shape}")
+        dtype = promote(a.dtype, b.dtype)
+        ctx.save_for_backward(a, b)
+        out = np.matmul(
+            a._np().astype(dtype.np_compute, copy=False),
+            b._np().astype(dtype.np_compute, copy=False),
+        )
+        return make_result(out, dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        a, b = ctx.saved_tensors
+        a_np, b_np = a._compute(), b._compute()
+        ga = _unbroadcast_batch(np.matmul(grad, np.swapaxes(b_np, -1, -2)), a.shape)
+        gb = _unbroadcast_batch(np.matmul(np.swapaxes(a_np, -1, -2), grad), b.shape)
+        return (ga, gb)

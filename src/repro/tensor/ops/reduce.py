@@ -1,0 +1,110 @@
+"""Reductions: sum, mean, max, min."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.autograd import Context, Function
+from repro.tensor.tensor import Tensor
+from repro.tensor.ops._common import make_result
+
+
+def _restore_dims(
+    grad: np.ndarray, in_shape: tuple[int, ...], dim: int | None, keepdim: bool
+) -> np.ndarray:
+    """Broadcast a reduced gradient back to the input shape."""
+    if dim is None:
+        return np.broadcast_to(grad.reshape((1,) * len(in_shape)), in_shape)
+    if not keepdim:
+        grad = np.expand_dims(grad, axis=dim)
+    return np.broadcast_to(grad, in_shape)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int | None, keepdim: bool) -> Tensor:
+        ctx.in_shape, ctx.dim, ctx.keepdim = a.shape, dim, keepdim
+        out = a._compute().sum(axis=dim, keepdims=keepdim if dim is not None else False)
+        return make_result(np.asarray(out), a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        return (_restore_dims(grad, ctx.in_shape, ctx.dim, ctx.keepdim).copy(),)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int | None, keepdim: bool) -> Tensor:
+        ctx.in_shape, ctx.dim, ctx.keepdim = a.shape, dim, keepdim
+        if dim is None:
+            ctx.count = max(a.numel, 1)
+        else:
+            ctx.count = a.shape[dim]
+        out = a._compute().mean(axis=dim, keepdims=keepdim if dim is not None else False)
+        return make_result(np.asarray(out), a.dtype, a.device)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        g = _restore_dims(grad, ctx.in_shape, ctx.dim, ctx.keepdim) / ctx.count
+        return (g.copy(),)
+
+
+class _ExtremumBase(Function):
+    """Shared machinery for Max/Min: route gradient to the arg position."""
+
+    reducer: staticmethod
+    arg_reducer: staticmethod
+
+    @classmethod
+    def _forward(cls, ctx: Context, a: Tensor, dim: int | None, keepdim: bool) -> Tensor:
+        a_np = a._compute()
+        ctx.in_shape, ctx.dim, ctx.keepdim = a.shape, dim, keepdim
+        if dim is None:
+            flat_idx = int(cls.arg_reducer(a_np))
+            ctx.flat_index = flat_idx
+            out = np.asarray(cls.reducer(a_np))
+        else:
+            idx = cls.arg_reducer(a_np, axis=dim)
+            ctx.indices = idx
+            out = cls.reducer(a_np, axis=dim, keepdims=keepdim)
+        return make_result(out, a.dtype, a.device)
+
+    @classmethod
+    def _backward(cls, ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        g = np.zeros(ctx.in_shape, dtype=grad.dtype)
+        if ctx.dim is None:
+            g.reshape(-1)[ctx.flat_index] = grad.reshape(())
+        else:
+            expanded = grad if ctx.keepdim else np.expand_dims(grad, axis=ctx.dim)
+            np.put_along_axis(
+                g, np.expand_dims(ctx.indices, axis=ctx.dim), expanded, axis=ctx.dim
+            )
+        return (g,)
+
+
+class Max(_ExtremumBase):
+    reducer = staticmethod(np.max)
+    arg_reducer = staticmethod(np.argmax)
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int | None, keepdim: bool) -> Tensor:
+        return Max._forward(ctx, a, dim, keepdim)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        return Max._backward(ctx, grad)
+
+
+class Min(_ExtremumBase):
+    reducer = staticmethod(np.min)
+    arg_reducer = staticmethod(np.argmin)
+
+    @staticmethod
+    def forward(ctx: Context, a: Tensor, dim: int | None, keepdim: bool) -> Tensor:
+        return Min._forward(ctx, a, dim, keepdim)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        return Min._backward(ctx, grad)

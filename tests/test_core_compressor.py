@@ -1,0 +1,167 @@
+"""Tests for model-level compression (ClusteredLinear + ModelCompressor)."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+import repro.nn as nn
+from repro.core import DKMConfig, ModelCompressor
+from repro.core.compressor import ClusteredLinear, dequantized_state
+
+
+def _linear(in_f=16, out_f=12, seed=0):
+    layer = nn.Linear(in_f, out_f, bias=True, rng=np.random.default_rng(seed))
+    layer.to("gpu")
+    return layer
+
+
+def _x(n=4, in_f=16, seed=1):
+    return rt.Tensor.from_numpy(
+        np.random.default_rng(seed).standard_normal((n, in_f)).astype(np.float32),
+        device="gpu",
+    )
+
+
+class TestClusteredLinear:
+    def test_weight_converted_to_16bit(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3))
+        assert wrapped.inner.weight.dtype is rt.bfloat16
+
+    def test_train_forward_shape(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3))
+        assert wrapped(_x()).shape == (4, 12)
+
+    def test_train_forward_approximates_original(self):
+        layer = _linear()
+        original = layer(_x()).numpy()
+        wrapped = ClusteredLinear(layer, DKMConfig(bits=4, iters=10))
+        clustered = wrapped(_x()).numpy()
+        rel = np.mean((clustered - original) ** 2) / np.mean(original**2)
+        assert rel < 0.05
+
+    def test_gradient_reaches_master_weight(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3))
+        out = wrapped(_x())
+        (out * out).sum().backward()
+        assert wrapped.inner.weight.grad is not None
+        assert float(np.abs(wrapped.inner.weight.grad.numpy()).max()) > 0
+
+    def test_eval_uses_hard_weights(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3, iters=8))
+        wrapped.eval()
+        out = wrapped(_x())
+        # Hard weights: every weight is exactly one of 8 centroid values.
+        hard = wrapped._hard_weight().numpy()
+        assert len(np.unique(hard)) <= 8
+        assert out.shape == (4, 12)
+
+    def test_eval_cache_reused_and_invalidated(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3))
+        wrapped.eval()
+        first = wrapped._hard_weight()
+        assert wrapped._hard_weight() is first
+        wrapped.train()
+        wrapped.eval()
+        assert wrapped._hard_weight() is not first
+
+    def test_palettize_artifact(self):
+        wrapped = ClusteredLinear(_linear(), DKMConfig(bits=3, iters=8))
+        wrapped(_x())  # initialize clustering state
+        palette = wrapped.palettize()
+        assert palette.bits == 3
+        assert palette.shape == (12, 16)
+        assert palette.lut.size == 8
+        err = np.mean(
+            (palette.dequantize() - wrapped.inner.weight.numpy().astype(np.float32))
+            ** 2
+        )
+        assert err < np.var(wrapped.inner.weight.numpy()) * 0.1
+
+    def test_uniquify_toggle_changes_path_not_output(self):
+        layer_a, layer_b = _linear(seed=3), _linear(seed=3)
+        a = ClusteredLinear(layer_a, DKMConfig(bits=3, iters=3), uniquify_enabled=True)
+        b = ClusteredLinear(layer_b, DKMConfig(bits=3, iters=3), uniquify_enabled=False)
+        assert np.allclose(a(_x()).numpy(), b(_x()).numpy(), atol=1e-5)
+
+
+class TestModelCompressor:
+    def _model(self):
+        model = nn.Transformer(
+            vocab_size=30, dim=16, n_layers=1, n_heads=2, hidden_dim=32, max_seq_len=8
+        )
+        model.to("gpu")
+        return model
+
+    def test_wraps_all_linears(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3))
+        compressor.compress(model)
+        # 4 attention + 3 mlp + 1 head = 8 linears
+        assert len(compressor.wrapped) == 8
+        assert isinstance(model.lm_head, ClusteredLinear)
+        assert isinstance(model.layers[0].attn.q_proj, ClusteredLinear)
+
+    def test_skip_names(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3), skip_names=("lm_head",))
+        compressor.compress(model)
+        assert not isinstance(model.lm_head, ClusteredLinear)
+        assert len(compressor.wrapped) == 7
+
+    def test_no_linears_raises(self):
+        compressor = ModelCompressor(DKMConfig(bits=3))
+        with pytest.raises(ValueError):
+            compressor.compress(nn.RMSNorm(4))
+
+    def test_compressed_model_still_runs(self):
+        model = self._model()
+        ModelCompressor(DKMConfig(bits=3)).compress(model)
+        tokens = rt.Tensor.from_numpy(np.array([[1, 2, 3]]), device="gpu")
+        assert model(tokens).shape == (1, 3, 30)
+
+    def test_finalize_report(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3), embedding_bits=8)
+        compressor.compress(model)
+        tokens = rt.Tensor.from_numpy(np.array([[1, 2, 3]]), device="gpu")
+        model(tokens)
+        report = compressor.finalize(model)
+        # Every clustered linear palettized at 3 bits.
+        for name in compressor.wrapped:
+            assert report.palettized[name].bits == 3
+        # Embedding palettized at 8 bits.
+        assert report.palettized["embed.weight"].bits == 8
+        # Norm weights kept at 16-bit.
+        assert any("norm" in name for name in report.uncompressed)
+        assert report.total_bytes > 0
+
+    def test_finalize_smaller_than_fp16(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3))
+        compressor.compress(model)
+        tokens = rt.Tensor.from_numpy(np.array([[1, 2]]), device="gpu")
+        model(tokens)
+        report = compressor.finalize(model)
+        fp16_bytes = 2 * model.num_parameters()
+        assert report.total_bytes < fp16_bytes / 3
+
+    def test_dequantized_state(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3))
+        compressor.compress(model)
+        tokens = rt.Tensor.from_numpy(np.array([[1, 2]]), device="gpu")
+        model(tokens)
+        report = compressor.finalize(model)
+        state = dequantized_state(report)
+        assert state["lm_head"].shape == (30, 16)
+
+    def test_summary_renders(self):
+        model = self._model()
+        compressor = ModelCompressor(DKMConfig(bits=3))
+        compressor.compress(model)
+        tokens = rt.Tensor.from_numpy(np.array([[1, 2]]), device="gpu")
+        model(tokens)
+        report = compressor.finalize(model)
+        text = report.summary()
+        assert "TOTAL" in text
+        assert "lm_head" in text

@@ -1,0 +1,168 @@
+"""Tests for the DKM clustering layer (dense path and refinement)."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.core import DKMConfig
+from repro.core.dkm import (
+    DKMClusterer,
+    default_temperature,
+    init_centroids_quantile,
+)
+
+
+def _weight_tensor(n=2000, seed=0, dtype="bfloat16", requires_grad=False):
+    values = (np.random.default_rng(seed).standard_normal(n) * 0.05).astype(np.float32)
+    return rt.Tensor.from_numpy(
+        values, dtype=dtype, device="gpu", requires_grad=requires_grad
+    )
+
+
+class TestConfig:
+    def test_n_clusters(self):
+        assert DKMConfig(bits=3).n_clusters == 8
+        assert DKMConfig(bits=4).n_clusters == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DKMConfig(bits=0)
+        with pytest.raises(ValueError):
+            DKMConfig(bits=9)
+        with pytest.raises(ValueError):
+            DKMConfig(temperature=-1.0)
+        with pytest.raises(ValueError):
+            DKMConfig(iters=0)
+
+
+class TestInitialization:
+    def test_quantile_init_spans_distribution(self):
+        values = np.random.default_rng(0).standard_normal(10_000).astype(np.float32)
+        centroids = init_centroids_quantile(values, 8)
+        assert centroids.shape == (8,)
+        assert np.all(np.diff(centroids) > 0)  # sorted, distinct
+        assert centroids[0] > values.min()
+        assert centroids[-1] < values.max()
+
+    def test_default_temperature_positive_and_scale_aware(self):
+        small = default_temperature(np.array([0.0, 0.01]), 8)
+        large = default_temperature(np.array([0.0, 1.0]), 8)
+        assert 0 < small < large
+
+    def test_default_temperature_degenerate_distribution(self):
+        assert default_temperature(np.array([0.5, 0.5]), 8) > 0
+
+
+class TestRefinement:
+    def test_centroids_converge(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=30))
+        w = _weight_tensor()
+        state = clusterer.refine(w)
+        before = state.centroids.copy()
+        state2 = clusterer.refine(w)
+        # Re-refining an already-converged state moves centroids little.
+        assert np.abs(state2.centroids - before).max() < 1e-3
+
+    def test_reconstruction_error_below_random_codebook(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=10))
+        w = _weight_tensor()
+        clusterer.refine(w)
+        refined_err = clusterer.reconstruction_error(w)
+        random_clusterer = DKMClusterer(DKMConfig(bits=3, iters=10))
+        random_clusterer.state = type(clusterer.state)(
+            centroids=np.random.default_rng(0)
+            .uniform(-0.2, 0.2, 8)
+            .astype(np.float32),
+            temperature=clusterer.state.temperature,
+        )
+        random_err = random_clusterer.reconstruction_error(w)
+        assert refined_err < random_err
+
+    def test_more_bits_lower_error(self):
+        w = _weight_tensor()
+        errors = []
+        for bits in (2, 3, 4):
+            clusterer = DKMClusterer(DKMConfig(bits=bits, iters=10))
+            clusterer.refine(w)
+            errors.append(clusterer.reconstruction_error(w))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_warm_start_preserved_across_calls(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=2))
+        w = _weight_tensor()
+        clusterer.refine(w)
+        first = clusterer.state
+        clusterer.refine(w)
+        assert clusterer.state is first  # same state object, warm-started
+
+    def test_explicit_temperature_respected(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3, temperature=0.123))
+        clusterer.refine(_weight_tensor())
+        assert clusterer.state.temperature == 0.123
+
+    def test_hard_assign_requires_state(self):
+        clusterer = DKMClusterer(DKMConfig())
+        with pytest.raises(RuntimeError):
+            clusterer.hard_assign(_weight_tensor())
+
+    def test_hard_assign_nearest(self):
+        clusterer = DKMClusterer(DKMConfig(bits=2, iters=1))
+        w = _weight_tensor(100)
+        state = clusterer.refine(w)
+        assignments = clusterer.hard_assign(w)
+        flat = w.numpy().reshape(-1)
+        expected = np.argmin(
+            (flat[:, None] - state.centroids[None, :]) ** 2, axis=1
+        )
+        assert np.array_equal(assignments, expected)
+
+
+class TestDensePath:
+    def test_output_shape_and_dtype(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3))
+        w = _weight_tensor(96, requires_grad=True)
+        out = clusterer.cluster_dense(w)
+        assert out.shape == w.shape
+        assert out.dtype is w.dtype
+
+    def test_output_near_weights(self):
+        clusterer = DKMClusterer(DKMConfig(bits=4, iters=10))
+        w = _weight_tensor(500)
+        w.requires_grad = True
+        out = clusterer.cluster_dense(w)
+        err = np.mean((out.numpy() - w.numpy()) ** 2)
+        assert err < np.var(w.numpy()) * 0.05
+
+    def test_gradient_flows_to_weights(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3))
+        w = _weight_tensor(200, requires_grad=True)
+        out = clusterer.cluster_dense(w)
+        (out * out).sum().backward()
+        assert w.grad is not None
+        assert float(np.abs(w.grad.numpy()).max()) > 0
+
+    def test_2d_weight_supported(self):
+        clusterer = DKMClusterer(DKMConfig(bits=3))
+        w = rt.Tensor.from_numpy(
+            np.random.default_rng(0).standard_normal((16, 8)).astype(np.float32) * 0.1,
+            dtype="bfloat16",
+            device="gpu",
+            requires_grad=True,
+        )
+        out = clusterer.cluster_dense(w)
+        assert out.shape == (16, 8)
+
+    def test_saved_tensor_complexity_is_w_times_c(self):
+        """The dense path saves O(|W|·|C|) tensors -- DKM's memory wall."""
+        packed_bytes = []
+
+        def pack(t):
+            packed_bytes.append(t.storage.nbytes)
+            return t
+
+        clusterer = DKMClusterer(DKMConfig(bits=3))
+        w = _weight_tensor(1000, requires_grad=True)
+        with rt.saved_tensors_hooks(pack, lambda h: h):
+            clusterer.cluster_dense(w)
+        # At least one saved tensor has N*k*4 bytes (the attention map).
+        assert max(packed_bytes) >= 1000 * 8 * 4

@@ -1,0 +1,184 @@
+"""Tests for the fused eDKM op: equivalence with dense DKM and footprint."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.core import DKMConfig
+from repro.core.dkm import DKMClusterer
+from repro.core.edkm import EDKMClusterAssign, cluster, edkm_cluster
+
+
+def _weights_np(n=800, seed=0):
+    return (np.random.default_rng(seed).standard_normal(n) * 0.05).astype(np.float32)
+
+
+def _tensor(values, requires_grad=True, dtype="bfloat16"):
+    return rt.Tensor.from_numpy(
+        values, dtype=dtype, device="gpu", requires_grad=requires_grad
+    )
+
+
+def _run(path, values, config=None, reconstruct=True, grad_seed=1):
+    """Run dense or fused clustering; return (output, weight grad)."""
+    config = config or DKMConfig(bits=3, iters=4)
+    w = _tensor(values)
+    clusterer = DKMClusterer(config)
+    if path == "dense":
+        out = clusterer.cluster_dense(w)
+    else:
+        out = edkm_cluster(w, clusterer, reconstruct_backward=reconstruct)
+    upstream = np.random.default_rng(grad_seed).standard_normal(out.shape)
+    (out * rt.Tensor.from_numpy(upstream.astype(np.float32), device="gpu")).sum().backward()
+    return out.numpy(), w.grad.numpy()
+
+
+class TestEquivalence:
+    def test_outputs_match_dense(self):
+        values = _weights_np()
+        out_dense, _ = _run("dense", values)
+        out_fused, _ = _run("fused", values)
+        assert np.allclose(out_dense, out_fused, atol=1e-6)
+
+    def test_gradients_match_dense(self):
+        values = _weights_np()
+        _, grad_dense = _run("dense", values)
+        _, grad_fused = _run("fused", values)
+        scale = np.abs(grad_dense).max()
+        assert np.allclose(grad_fused, grad_dense, atol=1e-4 * max(scale, 1))
+
+    def test_factorized_backward_matches_reconstruction(self):
+        values = _weights_np()
+        _, grad_recon = _run("fused", values, reconstruct=True)
+        _, grad_fact = _run("fused", values, reconstruct=False)
+        scale = np.abs(grad_recon).max()
+        assert np.allclose(grad_fact, grad_recon, atol=1e-4 * max(scale, 1))
+
+    def test_equivalence_across_bit_widths(self):
+        values = _weights_np(400)
+        for bits in (2, 3, 4):
+            config = DKMConfig(bits=bits, iters=3)
+            out_dense, grad_dense = _run("dense", values, config)
+            out_fused, grad_fused = _run("fused", values, config)
+            assert np.allclose(out_dense, out_fused, atol=1e-6), bits
+            scale = max(np.abs(grad_dense).max(), 1)
+            assert np.allclose(grad_fused, grad_dense, atol=1e-4 * scale), bits
+
+    def test_equivalence_with_fp16_weights(self):
+        values = _weights_np(400)
+        config = DKMConfig(bits=3, iters=3, weight_dtype=rt.float16)
+        w_dense = _tensor(values, dtype="float16")
+        w_fused = _tensor(values, dtype="float16")
+        cl_a, cl_b = DKMClusterer(config), DKMClusterer(config)
+        out_dense = cl_a.cluster_dense(w_dense)
+        out_fused = edkm_cluster(w_fused, cl_b)
+        assert np.allclose(
+            out_dense.numpy().astype(np.float32),
+            out_fused.numpy().astype(np.float32),
+            atol=1e-3,
+        )
+
+    def test_2d_weights(self):
+        values = _weights_np(96).reshape(12, 8)
+        out_dense, grad_dense = _run("dense", values)
+        out_fused, grad_fused = _run("fused", values)
+        assert out_fused.shape == (12, 8)
+        assert np.allclose(out_dense, out_fused, atol=1e-6)
+        assert np.allclose(grad_fused, grad_dense, atol=1e-4)
+
+
+class TestFusedOpMechanics:
+    def test_requires_16bit_dtype(self):
+        w = rt.Tensor.from_numpy(
+            _weights_np(32), dtype="float32", device="gpu", requires_grad=True
+        )
+        c = rt.Tensor.from_numpy(np.linspace(-0.1, 0.1, 8).astype(np.float32), device="gpu")
+        with pytest.raises(TypeError, match="16-bit"):
+            EDKMClusterAssign.apply(w, c, 1e-3)
+
+    def test_saved_tensors_are_factored_representation(self):
+        """The fused op saves table + index + patterns + centroids, not the map."""
+        packed = []
+
+        def pack(t):
+            packed.append((t.shape, t.dtype.name))
+            return t
+
+        w = _tensor(_weights_np(1000))
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=2))
+        with rt.saved_tensors_hooks(pack, lambda h: h):
+            edkm_cluster(w, clusterer)
+        shapes = {shape for shape, _ in packed}
+        dtypes = {name for _, name in packed}
+        # Index list of N entries, saved as uint16.
+        assert (1000,) in shapes
+        assert "uint16" in dtypes
+        # No N x k tensor was saved.
+        assert not any(s == (1000, 8) for s in shapes)
+
+    def test_index_list_uses_uint16(self):
+        w = _tensor(_weights_np(500))
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=2))
+        packed = []
+        with rt.saved_tensors_hooks(lambda t: packed.append(t) or t, lambda h: h):
+            edkm_cluster(w, clusterer)
+        index_tensors = [t for t in packed if t.dtype is rt.uint16 and t.shape == (500,)]
+        assert len(index_tensors) == 1
+
+    def test_no_centroid_grad_when_not_required(self):
+        w = _tensor(_weights_np(300))
+        c = rt.Tensor.from_numpy(
+            np.linspace(-0.1, 0.1, 8).astype(np.float32), device="gpu"
+        )
+        out = EDKMClusterAssign.apply(w, c, 1e-3)
+        out.sum().backward()
+        assert w.grad is not None
+        assert c.grad is None
+
+    def test_centroid_grad_when_required(self):
+        w = _tensor(_weights_np(300))
+        c = rt.Tensor.from_numpy(
+            np.linspace(-0.1, 0.1, 8).astype(np.float32),
+            device="gpu",
+            requires_grad=True,
+        )
+        out = EDKMClusterAssign.apply(w, c, 1e-3)
+        out.sum().backward()
+        assert c.grad is not None
+        assert c.grad.shape == (8,)
+
+    def test_centroid_grad_matches_dense_composition(self):
+        """Fused dC must equal the dense composed graph's dC."""
+        values = _weights_np(200)
+        c_np = np.linspace(-0.1, 0.1, 8).astype(np.float32)
+        tau = 1e-3
+
+        # Dense: compose from primitives with c requiring grad.
+        w_d = _tensor(values, requires_grad=False)
+        c_d = rt.Tensor.from_numpy(c_np, device="gpu", requires_grad=True)
+        flat = w_d.reshape(-1)
+        diff = flat.unsqueeze(1) - c_d.unsqueeze(0)
+        attention = ((diff * diff) * (-1.0 / tau)).softmax(dim=1)
+        out_dense = (attention @ c_d.unsqueeze(1)).reshape(w_d.shape)
+        out_dense.sum().backward()
+
+        # Fused.
+        w_f = _tensor(values, requires_grad=False)
+        c_f = rt.Tensor.from_numpy(c_np, device="gpu", requires_grad=True)
+        out_fused = EDKMClusterAssign.apply(w_f, c_f, tau)
+        out_fused.sum().backward()
+
+        scale = max(np.abs(c_d.grad.numpy()).max(), 1.0)
+        assert np.allclose(
+            c_f.grad.numpy(), c_d.grad.numpy(), atol=5e-3 * scale, rtol=1e-2
+        )
+
+    def test_dispatch_helper(self):
+        values = _weights_np(100)
+        w = _tensor(values)
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=2))
+        out_unique = cluster(w, clusterer, uniquify_enabled=True)
+        w2 = _tensor(values)
+        clusterer2 = DKMClusterer(DKMConfig(bits=3, iters=2))
+        out_dense = cluster(w2, clusterer2, uniquify_enabled=False)
+        assert np.allclose(out_unique.numpy(), out_dense.numpy(), atol=1e-6)

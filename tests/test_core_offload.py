@@ -1,0 +1,228 @@
+"""Tests for the saved-tensor offload pipeline (baseline, M, S)."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.core import DKMConfig, EDKMConfig, SavedTensorPipeline
+from repro.core.dkm import DKMClusterer
+from repro.core.edkm import edkm_cluster
+from repro.distributed import LearnerGroup
+from repro.memory import global_ledger, profile_memory
+
+
+def _loss(x):
+    return ((x @ x).softmax(dim=1) ** 2).sum()
+
+
+def _gpu_matrix(n=24, seed=0, requires_grad=True):
+    values = np.random.default_rng(seed).standard_normal((n, n)).astype(np.float32)
+    return rt.Tensor.from_numpy(values, device="gpu", requires_grad=requires_grad)
+
+
+class TestCorrectness:
+    def test_gradients_unchanged_by_offload(self):
+        """The pipeline must be semantically invisible."""
+        x_plain = _gpu_matrix()
+        _loss(x_plain).backward()
+
+        x_piped = _gpu_matrix()
+        pipeline = SavedTensorPipeline(EDKMConfig.baseline_offload())
+        with pipeline.step():
+            _loss(x_piped).backward()
+        assert np.allclose(x_plain.grad.numpy(), x_piped.grad.numpy(), rtol=1e-6)
+
+    def test_gradients_unchanged_by_marshaling(self):
+        x_plain = _gpu_matrix()
+        _loss(x_plain).backward()
+        x_piped = _gpu_matrix()
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(marshal=True, uniquify=False, shard=False, group=None)
+        )
+        with pipeline.step():
+            _loss(x_piped).backward()
+        assert np.allclose(x_plain.grad.numpy(), x_piped.grad.numpy(), rtol=1e-6)
+
+    def test_gradients_unchanged_by_sharding(self):
+        x_plain = _gpu_matrix()
+        _loss(x_plain).backward()
+        x_piped = _gpu_matrix()
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(
+                marshal=True,
+                uniquify=False,
+                shard=True,
+                group=LearnerGroup(4),
+                shard_min_bytes=64,
+            )
+        )
+        with pipeline.step():
+            _loss(x_piped).backward()
+        assert np.allclose(x_plain.grad.numpy(), x_piped.grad.numpy(), rtol=1e-6)
+
+    def test_gradients_unchanged_full_edkm_on_dkm_layer(self):
+        values = (np.random.default_rng(1).standard_normal(600) * 0.05).astype(
+            np.float32
+        )
+
+        def run(pipeline):
+            w = rt.Tensor.from_numpy(
+                values, dtype="bfloat16", device="gpu", requires_grad=True
+            )
+            clusterer = DKMClusterer(DKMConfig(bits=3, iters=3))
+            if pipeline is None:
+                (edkm_cluster(w, clusterer) ** 2).sum().backward()
+            else:
+                with pipeline.step():
+                    (edkm_cluster(w, clusterer) ** 2).sum().backward()
+            return w.grad.numpy()
+
+        plain = run(None)
+        full = run(
+            SavedTensorPipeline(
+                EDKMConfig(group=LearnerGroup(8), shard_min_bytes=128)
+            )
+        )
+        assert np.allclose(plain, full, rtol=1e-5, atol=1e-8)
+
+
+class TestOffloadBehavior:
+    def test_disabled_pipeline_is_noop(self):
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(
+                offload=False, marshal=False, uniquify=False, shard=False, group=None
+            )
+        )
+        cpu = rt.CPU
+        with profile_memory([cpu.tracker]) as prof:
+            with pipeline.step():
+                _loss(_gpu_matrix()).backward()
+        assert pipeline.stats.tensors_packed == 0
+        assert prof.peak_delta("cpu") == 0
+
+    def test_cpu_tensors_pass_through(self):
+        x = rt.tensor(
+            np.random.default_rng(0).standard_normal((8, 8)).astype(np.float32),
+            requires_grad=True,
+        )  # cpu tensor
+        pipeline = SavedTensorPipeline(EDKMConfig.baseline_offload())
+        with pipeline.step():
+            _loss(x).backward()
+        assert pipeline.stats.copies_made == 0
+
+    def test_min_offload_bytes_threshold(self):
+        pipeline = SavedTensorPipeline(
+            EDKMConfig.baseline_offload(min_offload_bytes=10_000_000)
+        )
+        with pipeline.step():
+            _loss(_gpu_matrix()).backward()
+        assert pipeline.stats.copies_made == 0
+
+    def test_offload_frees_count_on_cpu_and_records_traffic(self):
+        pipeline = SavedTensorPipeline(EDKMConfig.baseline_offload())
+        cpu = rt.CPU
+        with profile_memory([cpu.tracker], global_ledger()) as prof:
+            with pipeline.step():
+                _loss(_gpu_matrix()).backward()
+        assert prof.traffic("gpu", "cpu") > 0
+        assert prof.traffic("cpu", "gpu") > 0  # restored for backward
+        assert pipeline.stats.copies_made > 0
+
+    def test_marshaling_reduces_copies_and_memory(self):
+        def run(marshal):
+            pipeline = SavedTensorPipeline(
+                EDKMConfig(marshal=marshal, uniquify=False, shard=False, group=None)
+            )
+            cpu = rt.CPU
+            with profile_memory([cpu.tracker]) as prof:
+                with pipeline.step():
+                    _loss(_gpu_matrix()).backward()
+            return prof.peak_delta("cpu"), pipeline.stats
+
+        base_peak, base_stats = run(False)
+        marshal_peak, marshal_stats = run(True)
+        assert marshal_stats.copies_avoided > 0
+        assert marshal_peak < base_peak
+        assert base_stats.copies_avoided == 0
+
+    def test_sharding_distributes_bytes(self):
+        group = LearnerGroup(4)
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(
+                marshal=False,
+                uniquify=False,
+                shard=True,
+                group=group,
+                shard_min_bytes=64,
+            )
+        )
+        peer = group.devices[1]
+        cpu = rt.CPU
+        with profile_memory([cpu.tracker, peer.tracker]) as prof:
+            with pipeline.step():
+                _loss(_gpu_matrix()).backward()
+        assert pipeline.stats.tensors_sharded > 0
+        assert prof.peak_delta(peer.name) > 0
+        # Learner 0 holds roughly 1/4 of what a whole copy would be.
+        assert prof.peak_delta("cpu") < prof.peak_delta(peer.name) * 4
+
+    def test_shard_min_bytes_respected(self):
+        group = LearnerGroup(4)
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(
+                marshal=False,
+                uniquify=False,
+                shard=True,
+                group=group,
+                shard_min_bytes=10_000_000,
+            )
+        )
+        with pipeline.step():
+            _loss(_gpu_matrix()).backward()
+        assert pipeline.stats.tensors_sharded == 0
+        assert pipeline.stats.copies_made > 0
+
+    def test_registry_cleared_between_steps(self):
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(marshal=True, uniquify=False, shard=False, group=None)
+        )
+        with pipeline.step():
+            _loss(_gpu_matrix()).backward()
+        assert len(pipeline.registry) == 0
+
+    def test_stats_accumulate_across_steps(self):
+        pipeline = SavedTensorPipeline(EDKMConfig.baseline_offload())
+        for _ in range(2):
+            with pipeline.step():
+                _loss(_gpu_matrix()).backward()
+        assert pipeline.stats.copies_made >= 4
+
+    def test_hops_histogram_populated(self):
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(marshal=True, uniquify=False, shard=False, group=None)
+        )
+        x = _gpu_matrix()
+        with pipeline.step():
+            # x saved twice by Mul (0 hops) and its view saved via Pow (1 hop).
+            v = x.view(-1)
+            ((x * x).sum() + (v**2.0).sum()).backward()
+        assert pipeline.stats.hops_histogram.get(0, 0) >= 1
+        assert pipeline.stats.hops_histogram.get(1, 0) >= 1
+
+
+class TestUnpackCaching:
+    def test_multiple_refs_share_one_restore_when_alive(self):
+        """Two payloads referencing one entry reuse the same GPU copy if the
+        first unpacked tensor is still alive."""
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(marshal=True, uniquify=False, shard=False, group=None)
+        )
+        x = _gpu_matrix(8)
+        with pipeline.step():
+            y = (x * x).sum()  # Mul saves x twice -> one entry, two payloads
+            node = y.grad_fn
+            # Find the mul node's context through the graph.
+            mul_ctx = node.edges[0][1].ctx
+            saved = mul_ctx.saved_tensors  # unpack both payloads now
+            assert saved[0].shares_storage_with(saved[1])
+            mul_ctx.release_saved()

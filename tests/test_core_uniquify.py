@@ -1,0 +1,114 @@
+"""Tests for weight uniquification (paper Section 2.2 / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.uniquify import (
+    MAX_UNIQUE_16BIT,
+    attention_table,
+    dense_attention_map,
+    index_dtype_for,
+    reconstruct_attention_map,
+    uniquify,
+)
+from repro.tensor.dtype import bfloat16, float16, uint16, int32
+
+
+def _weights(n=5000, seed=0, dtype=bfloat16):
+    values = (np.random.default_rng(seed).standard_normal(n) * 0.05).astype(np.float32)
+    return dtype.project(values)
+
+
+class TestUniquify:
+    def test_reconstruction_is_lossless(self):
+        w = _weights()
+        unique = uniquify(w, bfloat16)
+        assert np.array_equal(unique.reconstruct_values().astype(np.float32), w)
+
+    def test_unique_count_bounded(self):
+        unique = uniquify(_weights(200_000), bfloat16)
+        assert unique.n_unique <= MAX_UNIQUE_16BIT
+        assert unique.n_unique < unique.n_weights
+
+    def test_counts_sum_to_n(self):
+        unique = uniquify(_weights(), bfloat16)
+        assert unique.counts.sum() == unique.n_weights
+
+    def test_duplicates_share_index(self):
+        w = bfloat16.project(np.array([0.5, 0.25, 0.5, 0.5], dtype=np.float32))
+        unique = uniquify(w, bfloat16)
+        assert unique.n_unique == 2
+        idx = unique.index_list
+        assert idx[0] == idx[2] == idx[3]
+        assert idx[0] != idx[1]
+
+    def test_multidim_shape_preserved(self):
+        w = _weights(120).reshape(10, 12)
+        unique = uniquify(w, bfloat16)
+        assert unique.source_shape == (10, 12)
+        assert unique.reconstruct_values().shape == (10, 12)
+
+    def test_fp16_keying(self):
+        w = np.random.default_rng(1).standard_normal(1000).astype(np.float16)
+        unique = uniquify(w, float16)
+        assert np.allclose(
+            unique.reconstruct_values(), w.astype(np.float32), atol=1e-6
+        )
+
+    def test_compression_ratio(self):
+        unique = uniquify(_weights(50_000), bfloat16)
+        assert unique.compression_ratio > 10  # heavy duplication at bf16
+
+    def test_index_dtype_selection(self):
+        assert index_dtype_for(10) is uint16
+        assert index_dtype_for(MAX_UNIQUE_16BIT) is uint16
+        assert index_dtype_for(MAX_UNIQUE_16BIT + 1) is int32
+
+
+class TestAttentionTable:
+    def test_rows_sum_to_one(self):
+        table = attention_table(np.linspace(-1, 1, 50), np.linspace(-1, 1, 8), 0.01)
+        assert np.allclose(table.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_nearest_centroid_dominates_at_low_temperature(self):
+        centroids = np.array([-1.0, 0.0, 1.0], dtype=np.float32)
+        table = attention_table(np.array([0.05]), centroids, 1e-4)
+        assert table[0].argmax() == 1
+        assert table[0, 1] > 0.99
+
+    def test_uniform_at_high_temperature(self):
+        centroids = np.array([-1.0, 0.0, 1.0], dtype=np.float32)
+        table = attention_table(np.array([0.0]), centroids, 1e6)
+        assert np.allclose(table[0], 1.0 / 3.0, atol=1e-3)
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            attention_table(np.zeros(2), np.zeros(2), 0.0)
+
+    def test_equal_weights_equal_rows(self):
+        """The theorem behind uniquification: equal bits => equal rows."""
+        w = np.array([0.125, 0.125], dtype=np.float32)
+        table = attention_table(w, np.linspace(-1, 1, 4), 0.01)
+        assert np.array_equal(table[0], table[1])
+
+
+class TestReconstruction:
+    def test_table_lookup_equals_dense_map(self):
+        """Fig. 3's factorization is exact: table[index] == dense map."""
+        w = _weights(3000)
+        centroids = np.linspace(w.min(), w.max(), 8).astype(np.float32)
+        unique = uniquify(w, bfloat16)
+        table = attention_table(unique.values, centroids, 1e-3)
+        dense = dense_attention_map(w, centroids, 1e-3)
+        rebuilt = reconstruct_attention_map(table, unique.index_list)
+        assert np.array_equal(rebuilt, dense)
+
+    def test_memory_arithmetic(self):
+        """Table is O(|C|) rows; index list is O(|W|) narrow integers."""
+        w = _weights(100_000)
+        unique = uniquify(w, bfloat16)
+        k = 8
+        dense_bytes = unique.n_weights * k * 4
+        table_bytes = unique.n_unique * k * 4
+        index_bytes = unique.n_weights * 2
+        assert table_bytes + index_bytes < dense_bytes / 5

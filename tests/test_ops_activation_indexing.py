@@ -1,0 +1,172 @@
+"""Forward values and gradients of activations and indexing ops."""
+
+import numpy as np
+import pytest
+import scipy.special
+
+import repro.tensor as rt
+from repro.tensor import ops
+
+from tests.gradcheck import check_gradients
+
+
+def _arr(shape, seed=0, scale=1.0):
+    return (np.random.default_rng(seed).standard_normal(shape) * scale).astype(
+        np.float32
+    )
+
+
+class TestActivations:
+    def test_softmax_matches_scipy(self):
+        a = _arr((3, 5))
+        out = ops.softmax(rt.tensor(a), dim=1)
+        assert np.allclose(out.numpy(), scipy.special.softmax(a, axis=1), rtol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.softmax(rt.tensor(_arr((4, 7))), dim=-1)
+        assert np.allclose(out.numpy().sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_softmax_stability_large_logits(self):
+        out = ops.softmax(rt.tensor([[1000.0, 1000.0]]), dim=1)
+        assert np.allclose(out.numpy(), [[0.5, 0.5]])
+
+    def test_log_softmax(self):
+        a = _arr((3, 5))
+        out = ops.log_softmax(rt.tensor(a), dim=1)
+        assert np.allclose(
+            out.numpy(), scipy.special.log_softmax(a, axis=1), rtol=1e-5
+        )
+
+    def test_relu(self):
+        a = rt.tensor([-1.0, 0.0, 2.0])
+        assert np.array_equal(ops.relu(a).numpy(), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_tanh(self):
+        a = _arr((5,))
+        assert np.allclose(
+            ops.sigmoid(rt.tensor(a)).numpy(), scipy.special.expit(a), rtol=1e-5
+        )
+        assert np.allclose(ops.tanh(rt.tensor(a)).numpy(), np.tanh(a), rtol=1e-5)
+
+    def test_silu(self):
+        a = _arr((5,))
+        assert np.allclose(
+            ops.silu(rt.tensor(a)).numpy(), a * scipy.special.expit(a), rtol=1e-5
+        )
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(rt.tensor([-100.0, 100.0])).numpy()
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-8)
+        assert out[1] == pytest.approx(1.0, abs=1e-8)
+
+    def test_softmax_grad(self):
+        check_gradients(
+            lambda ts: ops.softmax(ts[0], dim=1) * rt.tensor(_arr((2, 4), 9)),
+            [_arr((2, 4))],
+        )
+
+    def test_log_softmax_grad(self):
+        check_gradients(
+            lambda ts: ops.log_softmax(ts[0], dim=0) * rt.tensor(_arr((3, 2), 9)),
+            [_arr((3, 2))],
+        )
+
+    def test_silu_grad(self):
+        check_gradients(lambda ts: ops.silu(ts[0]), [_arr((5,))])
+
+    def test_gelu_grad(self):
+        check_gradients(lambda ts: ops.gelu(ts[0]), [_arr((5,))])
+
+    def test_sigmoid_grad(self):
+        check_gradients(lambda ts: ops.sigmoid(ts[0]), [_arr((5,))])
+
+    def test_tanh_grad(self):
+        check_gradients(lambda ts: ops.tanh(ts[0]), [_arr((5,))])
+
+    def test_relu_grad(self):
+        a = rt.tensor([-1.0, 2.0], requires_grad=True)
+        ops.relu(a).sum().backward()
+        assert np.array_equal(a.grad.numpy(), [0.0, 1.0])
+
+
+class TestIndexing:
+    def test_index_select_values(self):
+        w = _arr((6, 3))
+        idx = rt.tensor(np.array([0, 2, 2, 5]))
+        out = ops.index_select(rt.tensor(w), idx)
+        assert np.array_equal(out.numpy(), w[[0, 2, 2, 5]])
+
+    def test_index_select_2d_indices(self):
+        w = _arr((6, 3))
+        idx = rt.tensor(np.array([[0, 1], [2, 3]]))
+        out = ops.embedding(rt.tensor(w), idx)
+        assert out.shape == (2, 2, 3)
+
+    def test_index_select_grad_accumulates_duplicates(self):
+        w = rt.tensor(_arr((4, 2)), requires_grad=True)
+        idx = rt.tensor(np.array([1, 1, 3]))
+        ops.index_select(w, idx).sum().backward()
+        expected = np.zeros((4, 2), dtype=np.float32)
+        expected[1] = 2.0
+        expected[3] = 1.0
+        assert np.array_equal(w.grad.numpy(), expected)
+
+    def test_index_select_bounds_check(self):
+        w = rt.tensor(_arr((4, 2)))
+        with pytest.raises(IndexError):
+            ops.index_select(w, rt.tensor(np.array([4])))
+
+    def test_index_select_rejects_float_indices(self):
+        with pytest.raises(TypeError):
+            ops.index_select(rt.tensor(_arr((4, 2))), rt.tensor([0.0]))
+
+    def test_take_along_dim(self):
+        a = _arr((3, 5))
+        idx = np.array([[1], [0], [4]])
+        out = ops.take_along_dim(rt.tensor(a), rt.tensor(idx), dim=1)
+        assert np.array_equal(out.numpy(), np.take_along_axis(a, idx, axis=1))
+
+    def test_take_along_dim_grad(self):
+        a = rt.tensor(_arr((2, 3)), requires_grad=True)
+        idx = rt.tensor(np.array([[0, 0], [2, 1]]))
+        ops.take_along_dim(a, idx, dim=1).sum().backward()
+        expected = np.array([[2.0, 0.0, 0.0], [0.0, 1.0, 1.0]], dtype=np.float32)
+        assert np.array_equal(a.grad.numpy(), expected)
+
+    def test_masked_fill(self):
+        a = rt.tensor(_arr((2, 2)))
+        mask = np.array([[True, False], [False, True]])
+        out = ops.masked_fill(a, mask, -9.0)
+        assert out.numpy()[0, 0] == -9.0
+        assert out.numpy()[0, 1] == a.numpy()[0, 1]
+
+    def test_masked_fill_grad_blocked_by_mask(self):
+        a = rt.tensor(_arr((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        ops.masked_fill(a, mask, 0.0).sum().backward()
+        assert a.grad.numpy()[0, 0] == 0.0
+        assert a.grad.numpy()[1, 1] == 1.0
+
+    def test_where(self):
+        a, b = rt.tensor([1.0, 2.0]), rt.tensor([10.0, 20.0])
+        cond = np.array([True, False])
+        assert np.array_equal(ops.where(cond, a, b).numpy(), [1.0, 20.0])
+
+    def test_where_grad(self):
+        a = rt.tensor([1.0, 2.0], requires_grad=True)
+        b = rt.tensor([10.0, 20.0], requires_grad=True)
+        cond = np.array([True, False])
+        ops.where(cond, a, b).sum().backward()
+        assert np.array_equal(a.grad.numpy(), [1.0, 0.0])
+        assert np.array_equal(b.grad.numpy(), [0.0, 1.0])
+
+    def test_one_hot(self):
+        out = ops.one_hot(rt.tensor(np.array([0, 2])), num_classes=3)
+        assert np.array_equal(out.numpy(), [[1, 0, 0], [0, 0, 1]])
+
+    def test_causal_mask(self):
+        mask = ops.causal_mask(3)
+        assert np.array_equal(
+            mask, [[False, True, True], [False, False, True], [False, False, False]]
+        )

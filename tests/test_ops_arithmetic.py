@@ -1,0 +1,169 @@
+"""Forward values and gradients of elementwise and matmul ops."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.tensor import ops
+
+from tests.gradcheck import check_gradients
+
+
+def _arr(shape, seed=0, scale=1.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale + offset).astype(np.float32)
+
+
+class TestForwardValues:
+    def test_add_sub_mul_div(self):
+        a, b = rt.tensor([1.0, 2.0]), rt.tensor([3.0, 5.0])
+        assert np.allclose((a + b).numpy(), [4, 7])
+        assert np.allclose((a - b).numpy(), [-2, -3])
+        assert np.allclose((a * b).numpy(), [3, 10])
+        assert np.allclose((a / b).numpy(), [1 / 3, 2 / 5])
+
+    def test_scalar_operands(self):
+        a = rt.tensor([2.0, 4.0])
+        assert np.allclose((a + 1).numpy(), [3, 5])
+        assert np.allclose((1 + a).numpy(), [3, 5])
+        assert np.allclose((a - 1).numpy(), [1, 3])
+        assert np.allclose((10 - a).numpy(), [8, 6])
+        assert np.allclose((a * 3).numpy(), [6, 12])
+        assert np.allclose((a / 2).numpy(), [1, 2])
+        assert np.allclose((8 / a).numpy(), [4, 2])
+
+    def test_neg_pow_abs(self):
+        a = rt.tensor([-2.0, 3.0])
+        assert np.allclose((-a).numpy(), [2, -3])
+        assert np.allclose((a**2).numpy(), [4, 9])
+        assert np.allclose(a.abs().numpy(), [2, 3])
+
+    def test_exp_log_sqrt(self):
+        a = rt.tensor([1.0, 4.0])
+        assert np.allclose(a.exp().numpy(), np.exp([1, 4]), rtol=1e-6)
+        assert np.allclose(a.log().numpy(), np.log([1, 4]), rtol=1e-6)
+        assert np.allclose(a.sqrt().numpy(), [1, 2])
+
+    def test_clip(self):
+        a = rt.tensor([-2.0, 0.5, 3.0])
+        assert np.allclose(a.clip(-1, 1).numpy(), [-1, 0.5, 1])
+        assert np.allclose(a.clip(low=0).numpy(), [0, 0.5, 3])
+
+    def test_broadcasting(self):
+        a = rt.tensor(_arr((3, 1)))
+        b = rt.tensor(_arr((1, 4), seed=1))
+        assert (a + b).shape == (3, 4)
+        assert np.allclose((a + b).numpy(), a.numpy() + b.numpy())
+
+    def test_comparisons_produce_bool(self):
+        a, b = rt.tensor([1.0, 2.0]), rt.tensor([2.0, 2.0])
+        assert (a < b).dtype is rt.bool_
+        assert np.array_equal((a < b).numpy(), [True, False])
+        assert np.array_equal((a == b).numpy(), [False, True])
+        assert np.array_equal((a >= 2).numpy(), [False, True])
+
+    def test_mixed_device_raises(self):
+        a = rt.zeros(2, device="gpu")
+        b = rt.zeros(2, device="cpu")
+        with pytest.raises(RuntimeError, match="same device"):
+            _ = a + b
+
+    def test_dtype_promotion_in_binary_op(self):
+        a = rt.tensor(_arr(4), dtype="float16")
+        b = rt.tensor(_arr(4, seed=1), dtype="float32")
+        assert (a + b).dtype is rt.float32
+
+
+class TestGradients:
+    def test_add_grad(self):
+        check_gradients(lambda ts: ts[0] + ts[1], [_arr((2, 3)), _arr((2, 3), 1)])
+
+    def test_add_broadcast_grad(self):
+        check_gradients(lambda ts: ts[0] + ts[1], [_arr((2, 3)), _arr((3,), 1)])
+
+    def test_sub_grad(self):
+        check_gradients(lambda ts: ts[0] - ts[1], [_arr((2, 2)), _arr((2, 2), 1)])
+
+    def test_mul_grad(self):
+        check_gradients(lambda ts: ts[0] * ts[1], [_arr((3,)), _arr((3,), 1)])
+
+    def test_mul_scalar_grad(self):
+        check_gradients(lambda ts: ts[0] * 2.5, [_arr((3,))])
+
+    def test_self_multiplication_grad(self):
+        check_gradients(lambda ts: ts[0] * ts[0], [_arr((3,))])
+
+    def test_div_grad(self):
+        check_gradients(
+            lambda ts: ts[0] / ts[1],
+            [_arr((3,)), _arr((3,), 1, scale=0.2, offset=2.0)],
+        )
+
+    def test_pow_grad(self):
+        check_gradients(lambda ts: ts[0] ** 3, [_arr((4,), offset=2.0, scale=0.3)])
+
+    def test_exp_grad(self):
+        check_gradients(lambda ts: ts[0].exp(), [_arr((4,), scale=0.5)])
+
+    def test_log_grad(self):
+        check_gradients(lambda ts: ts[0].log(), [_arr((4,), scale=0.1, offset=2.0)])
+
+    def test_sqrt_grad(self):
+        check_gradients(lambda ts: ts[0].sqrt(), [_arr((4,), scale=0.2, offset=3.0)])
+
+    def test_abs_grad(self):
+        check_gradients(lambda ts: ts[0].abs(), [_arr((4,), offset=1.5, scale=0.3)])
+
+    def test_clip_grad_passes_inside_range_only(self):
+        a = rt.tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        a.clip(-1, 1).sum().backward()
+        assert np.array_equal(a.grad.numpy(), [0.0, 1.0, 0.0])
+
+    def test_neg_grad(self):
+        check_gradients(lambda ts: -ts[0], [_arr((3,))])
+
+
+class TestMatmul:
+    def test_2d_matmul_value(self):
+        a, b = _arr((3, 4)), _arr((4, 5), 1)
+        out = rt.tensor(a) @ rt.tensor(b)
+        assert np.allclose(out.numpy(), a @ b, rtol=1e-5)
+
+    def test_batched_matmul_value(self):
+        a, b = _arr((2, 3, 4)), _arr((2, 4, 5), 1)
+        out = rt.tensor(a) @ rt.tensor(b)
+        assert np.allclose(out.numpy(), a @ b, rtol=1e-5)
+
+    def test_broadcast_batch_matmul(self):
+        a, b = _arr((2, 3, 4)), _arr((4, 5), 1)
+        out = rt.tensor(a) @ rt.tensor(b)
+        assert out.shape == (2, 3, 5)
+        assert np.allclose(out.numpy(), a @ b, rtol=1e-5)
+
+    def test_vector_operands(self):
+        a, b = _arr((4,)), _arr((4,), 1)
+        assert np.allclose(
+            ops.matmul(rt.tensor(a), rt.tensor(b)).numpy(), a @ b, rtol=1e-5
+        )
+        m = _arr((3, 4), 2)
+        assert ops.matmul(rt.tensor(m), rt.tensor(b)).shape == (3,)
+        assert ops.matmul(rt.tensor(a), rt.tensor(m.T)).shape == (3,)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            _ = rt.zeros(2, 3) @ rt.zeros(4, 5)
+
+    def test_matmul_grad(self):
+        check_gradients(
+            lambda ts: ts[0] @ ts[1], [_arr((2, 3)), _arr((3, 2), 1)]
+        )
+
+    def test_batched_matmul_grad(self):
+        check_gradients(
+            lambda ts: ts[0] @ ts[1], [_arr((2, 2, 3)), _arr((2, 3, 2), 1)]
+        )
+
+    def test_broadcast_matmul_grad(self):
+        check_gradients(
+            lambda ts: ts[0] @ ts[1], [_arr((2, 2, 3)), _arr((3, 2), 1)]
+        )

@@ -1,0 +1,82 @@
+"""Tests for state persistence and seeded randomness."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.tensor import load_state, save_state
+
+
+class TestSerialization:
+    def test_roundtrip_values_and_shapes(self, tmp_path):
+        state = {
+            "a": rt.randn(3, 4),
+            "b": rt.tensor(np.arange(5)),
+        }
+        path = str(tmp_path / "state.npz")
+        save_state(path, state)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"].numpy(), state["a"].numpy())
+        assert np.array_equal(loaded["b"].numpy(), state["b"].numpy())
+        assert loaded["b"].dtype is rt.int64
+
+    def test_roundtrip_preserves_logical_dtypes(self, tmp_path):
+        state = {
+            "bf16": rt.randn(4, dtype="bfloat16"),
+            "fp16": rt.randn(4, dtype="float16"),
+        }
+        path = str(tmp_path / "dtypes.npz")
+        save_state(path, state)
+        loaded = load_state(path)
+        assert loaded["bf16"].dtype is rt.bfloat16
+        assert loaded["fp16"].dtype is rt.float16
+        assert np.array_equal(loaded["bf16"].numpy(), state["bf16"].numpy())
+
+    def test_load_onto_device(self, tmp_path):
+        path = str(tmp_path / "dev.npz")
+        save_state(path, {"w": rt.randn(2)})
+        loaded = load_state(path, device="gpu")
+        assert loaded["w"].device.name == "gpu"
+
+    def test_load_without_extension(self, tmp_path):
+        path = str(tmp_path / "noext")
+        save_state(path, {"w": rt.randn(2)})
+        loaded = load_state(path)
+        assert "w" in loaded
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(str(tmp_path / "nope.npz"))
+
+
+class TestSeededRandomness:
+    def test_manual_seed_reproducible(self):
+        rt.manual_seed(123)
+        a = rt.randn(8).numpy()
+        rt.manual_seed(123)
+        b = rt.randn(8).numpy()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        rt.manual_seed(1)
+        a = rt.randn(8).numpy()
+        rt.manual_seed(2)
+        b = rt.randn(8).numpy()
+        assert not np.array_equal(a, b)
+
+    def test_explicit_generator_isolated(self):
+        rng = np.random.default_rng(9)
+        rt.manual_seed(0)
+        a = rt.randn(4, rng=rng).numpy()
+        rng2 = np.random.default_rng(9)
+        b = rt.randn(4, rng=rng2).numpy()
+        assert np.array_equal(a, b)
+
+    def test_rand_in_unit_interval(self):
+        values = rt.rand(1000).numpy()
+        assert values.min() >= 0.0 and values.max() < 1.0
+
+    def test_default_rng_accessor(self):
+        rt.manual_seed(7)
+        assert rt.default_rng() is rt.default_rng()
