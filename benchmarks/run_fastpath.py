@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Deterministic fast-path micro-benchmark entry point.
+
+Runs the old-vs-new comparison of the eDKM hot loop (histogram uniquify,
+bincount segment reductions, per-layer step cache), asserts the fast path
+is not slower than the legacy path on the reference shapes, and writes the
+machine-readable artifact ``benchmarks/results/BENCH_fastpath.json``.
+
+Kept out of the tier-1 pytest run (timing assertions do not belong in the
+correctness suite); run it as a single command:
+
+    PYTHONPATH=src python benchmarks/run_fastpath.py
+
+Exit status is non-zero if any bit-exactness or not-slower assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.fastpath import run_fastpath  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_fastpath.json")
+
+# The histogram uniquify must beat the sort by this factor at N >= 1M
+# (acceptance criterion); at small N it only has to not be slower.
+LARGE_N = 1 << 20
+LARGE_N_MIN_SPEEDUP = 2.0
+
+# The bincount scatter must beat the float64-accurate legacy outright, and
+# may not drift past this multiple of the fastest (dtype-matched float32)
+# legacy formulation -- the guardrail that catches a real regression even
+# though the accuracy-equivalent baseline is the headline comparison.
+MATCHED_RATIO_CEILING = 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (min is reported)"
+    )
+    parser.add_argument("--steps", type=int, default=4, help="training steps timed")
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    result = run_fastpath(repeats=args.repeats, steps=args.steps, seed=args.seed)
+
+    failures: list[str] = []
+    for row in result.uniquify:
+        label = f"uniquify N={row.n_weights}"
+        print(
+            f"{label:<28} sort {row.sort_seconds:.5f}s  "
+            f"histogram {row.histogram_seconds:.5f}s  "
+            f"speedup {row.speedup:.1f}x  bit-identical={row.bit_identical}"
+        )
+        if not row.bit_identical:
+            failures.append(f"{label}: histogram output differs from np.unique")
+        if row.speedup < 1.0:
+            failures.append(f"{label}: fast path slower ({row.speedup:.2f}x)")
+        if row.n_weights >= LARGE_N and row.speedup < LARGE_N_MIN_SPEEDUP:
+            failures.append(
+                f"{label}: speedup {row.speedup:.2f}x below the "
+                f"{LARGE_N_MIN_SPEEDUP}x floor for N >= 1M"
+            )
+    for row in result.scatter:
+        label = f"{row.kind} N={row.n_elements}"
+        print(
+            f"{label:<28} add.at(f64) {row.add_at_mixed_seconds:.5f}s  "
+            f"add.at(f32) {row.add_at_matched_seconds:.5f}s  "
+            f"bincount {row.bincount_seconds:.5f}s  "
+            f"speedup {row.speedup:.1f}x  "
+            f"vs-matched {row.matched_ratio:.2f}  max|err| {row.max_abs_error:.2e}"
+        )
+        if row.max_abs_error > 1e-3:
+            failures.append(f"{label}: bincount result diverges from np.add.at")
+        if row.speedup < 1.0:
+            failures.append(
+                f"{label}: slower than the float64-accurate legacy "
+                f"({row.speedup:.2f}x)"
+            )
+        if row.matched_ratio > MATCHED_RATIO_CEILING:
+            failures.append(
+                f"{label}: bincount is {row.matched_ratio:.2f}x the "
+                f"dtype-matched add.at (ceiling {MATCHED_RATIO_CEILING}x)"
+            )
+    for row in result.step:
+        label = f"train step N={row.n_weights}"
+        print(
+            f"{label:<28} legacy {row.legacy_seconds_per_step:.5f}s/step  "
+            f"fastpath {row.fastpath_seconds_per_step:.5f}s/step  "
+            f"speedup {row.speedup:.1f}x  uniquify/step "
+            f"{row.legacy_uniquify_per_step:.0f}->{row.fastpath_uniquify_per_step:.0f}"
+        )
+        if row.fastpath_uniquify_per_step != 1.0:
+            failures.append(
+                f"{label}: expected exactly one uniquify per step, got "
+                f"{row.fastpath_uniquify_per_step}"
+            )
+        if row.speedup < 1.0:
+            failures.append(f"{label}: fast path slower ({row.speedup:.2f}x)")
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload = result.to_json_dict()
+    payload["seed"] = args.seed
+    payload["repeats"] = args.repeats
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all fast-path assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

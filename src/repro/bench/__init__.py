@@ -9,9 +9,19 @@ pytest-benchmark entry points and prints paper-style tables.
 - :mod:`repro.bench.table2` -- Table 2 (M/U/S ablation, memory + runtime)
 - :mod:`repro.bench.table3` -- Table 3 (accuracy of compressed models)
 - :mod:`repro.bench.claims` -- Section 1/2 analytic size claims
+- :mod:`repro.bench.fastpath` -- fast-path engine micro-benchmark
+  (histogram uniquify, bincount scatter, per-layer step cache)
 """
 
 from repro.bench.claims import Claim, run_claims
+from repro.bench.fastpath import (
+    FastPathBenchResult,
+    REFERENCE_SHAPES,
+    ScatterBenchRow,
+    StepBenchRow,
+    UniquifyBenchRow,
+    run_fastpath,
+)
 from repro.bench.fig2 import Fig2Result, run_fig2, run_hop_budget_sweep
 from repro.bench.fig3 import Fig3Result, run_dtype_sweep, run_fig3
 from repro.bench.table1 import PAPER_TABLE1, Table1Row, run_table1
@@ -35,6 +45,12 @@ from repro.bench.tables import paper_vs_measured, render_table
 __all__ = [
     "Claim",
     "run_claims",
+    "FastPathBenchResult",
+    "REFERENCE_SHAPES",
+    "ScatterBenchRow",
+    "StepBenchRow",
+    "UniquifyBenchRow",
+    "run_fastpath",
     "Fig2Result",
     "run_fig2",
     "run_hop_budget_sweep",

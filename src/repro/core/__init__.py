@@ -28,6 +28,7 @@ from repro.core.dkm import (
     init_centroids_quantile,
 )
 from repro.core.edkm import EDKMClusterAssign, cluster, edkm_cluster
+from repro.core.fastpath import FastPathReport, FastPathStats, StepCache
 from repro.core.marshal import MarshalRegistry, OffloadEntry
 from repro.core.offload import SavedPayload, SavedTensorPipeline
 from repro.core.palettize import (
@@ -37,13 +38,16 @@ from repro.core.palettize import (
     unpack_indices,
 )
 from repro.core.uniquify import (
+    HISTOGRAM_MIN_SIZE,
     MAX_UNIQUE_16BIT,
     UniquifiedWeights,
     attention_table,
     dense_attention_map,
     index_dtype_for,
     reconstruct_attention_map,
+    reset_uniquify_call_count,
     uniquify,
+    uniquify_call_count,
 )
 
 __all__ = [
@@ -61,6 +65,9 @@ __all__ = [
     "EDKMClusterAssign",
     "cluster",
     "edkm_cluster",
+    "FastPathReport",
+    "FastPathStats",
+    "StepCache",
     "MarshalRegistry",
     "OffloadEntry",
     "SavedPayload",
@@ -69,11 +76,14 @@ __all__ = [
     "kmeans_palettize",
     "pack_indices",
     "unpack_indices",
+    "HISTOGRAM_MIN_SIZE",
     "MAX_UNIQUE_16BIT",
     "UniquifiedWeights",
     "attention_table",
     "dense_attention_map",
     "index_dtype_for",
     "reconstruct_attention_map",
+    "reset_uniquify_call_count",
     "uniquify",
+    "uniquify_call_count",
 ]

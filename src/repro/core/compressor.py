@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import DKMConfig, EDKMConfig
 from repro.core.dkm import DKMClusterer
 from repro.core.edkm import cluster
+from repro.core.fastpath import FastPathReport, FastPathStats, StepCache
 from repro.core.palettize import PalettizedTensor, kmeans_palettize
 from repro.nn.linear import Embedding, Linear
 from repro.nn.module import Module
@@ -90,6 +91,11 @@ class ClusteredLinear(Module):
             )
         object.__setattr__(self, "_hard_cache", hard)
         return hard
+
+    @property
+    def step_cache(self) -> StepCache:
+        """This layer's fast-path memo (shared by refine/assign/palettize)."""
+        return self.clusterer.fastpath
 
     def palettize(self) -> PalettizedTensor:
         """Freeze the clustering into a deployable LUT + indices artifact."""
@@ -183,6 +189,26 @@ class ModelCompressor:
                 self.wrapped[full_name] = wrapper
             else:
                 self._wrap_children(child, prefix=f"{full_name}.")
+
+    def fastpath_report(self) -> FastPathReport:
+        """Aggregate per-layer step-cache hit/miss counters.
+
+        Counters are copied at call time, so the report is a stable
+        snapshot (deltas between two reports stay meaningful as training
+        continues).
+        """
+        return FastPathReport(
+            per_layer={
+                name: wrapper.step_cache.stats.merge(FastPathStats())
+                for name, wrapper in self.wrapped.items()
+            }
+        )
+
+    def release_step_caches(self) -> None:
+        """Drop every layer's cached decomposition (frees O(|W|) host bytes
+        per layer; the next step simply re-uniquifies)."""
+        for wrapper in self.wrapped.values():
+            wrapper.step_cache.invalidate()
 
     def finalize(self, model: Module) -> CompressionReport:
         """Palettize all clustered layers and embeddings; report sizes."""

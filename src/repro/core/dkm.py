@@ -28,10 +28,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import DKMConfig
-from repro.core.uniquify import attention_table, uniquify
+from repro.core.fastpath import StepCache
+from repro.core.uniquify import attention_table
 from repro.tensor import ops
 from repro.tensor.autograd import no_grad
 from repro.tensor.tensor import Tensor
+
+# Row-block size for the chunked fallback of the inspection helpers: bounds
+# the materialized distance block at chunk x k instead of N x k.
+HARD_ASSIGN_CHUNK = 1 << 16
 
 
 @dataclass
@@ -64,21 +69,50 @@ def default_temperature(values: np.ndarray, k: int) -> float:
     return max((step / 2.0) ** 2, 1e-12)
 
 
+def nearest_centroid(
+    values: np.ndarray, centroids: np.ndarray, chunk: int = HARD_ASSIGN_CHUNK
+) -> np.ndarray:
+    """Argmin squared distance of each value to the centroid vector.
+
+    Processes ``values`` in blocks of ``chunk`` so the materialized
+    distance matrix is bounded at ``chunk x k`` regardless of input size.
+    """
+    values = np.asarray(values).reshape(-1)
+    out = np.empty(values.size, dtype=np.int64)
+    for start in range(0, values.size, chunk):
+        block = values[start : start + chunk]
+        distance = (block[:, None] - centroids[None, :]) ** 2
+        out[start : start + block.size] = np.argmin(distance, axis=1)
+    return out
+
+
 class DKMClusterer:
     """Per-tensor DKM state machine: init, refine, differentiable assign."""
 
     def __init__(self, config: DKMConfig) -> None:
         self.config = config
         self.state: ClusterState | None = None
+        # Per-layer fast-path memo: one uniquify per weight version, and the
+        # final refine-iteration attention table carried to the forward.
+        self.fastpath = StepCache()
 
     # ------------------------------------------------------------------
     # Centroid refinement (no_grad, unique-value space)
     # ------------------------------------------------------------------
 
-    def refine(self, weights: Tensor) -> ClusterState:
-        """Run up to ``config.iters`` soft k-means updates on ``weights``."""
-        values_16 = weights._np()
-        unique = uniquify(values_16, self.config.weight_dtype)
+    def refine(self, weights: Tensor, cache_table: bool = False) -> ClusterState:
+        """Run up to ``config.iters`` soft k-means updates on ``weights``.
+
+        With ``cache_table=True`` the attention table at the *converged*
+        centroids is computed here and parked in the step cache, so a
+        following :class:`~repro.core.edkm.EDKMClusterAssign` forward reads
+        it instead of rebuilding the identical ``(u, k)`` softmax.  (This
+        relocates that table's construction rather than eliminating it --
+        the per-step table count is unchanged; it does eliminate the
+        recomputation when several forwards share one refine, and the
+        step-level speedup comes from the shared uniquify.)
+        """
+        unique = self.fastpath.uniquify(weights, self.config.weight_dtype)
         w_u = unique.values
         counts = unique.counts.astype(np.float64)
 
@@ -105,6 +139,9 @@ class DKMClusterer:
             state.iterations_run += 1
             if movement < self.config.tol:
                 break
+        if cache_table:
+            final_table = attention_table(w_u, state.centroids, state.temperature)
+            self.fastpath.store_table(state.centroids, state.temperature, final_table)
         return state
 
     # ------------------------------------------------------------------
@@ -140,15 +177,34 @@ class DKMClusterer:
     # ------------------------------------------------------------------
 
     def hard_assign(self, weights: Tensor) -> np.ndarray:
-        """Nearest-centroid index per weight (no gradient; for palettization)."""
+        """Nearest-centroid index per weight (no gradient; for palettization).
+
+        Works in unique-value space for 16-bit weights (at most ``2**16``
+        distance rows regardless of layer size) and falls back to a chunked
+        sweep otherwise, so the full ``(N, k)`` distance matrix is never
+        materialized.
+        """
         if self.state is None:
             raise RuntimeError("cluster state not initialized; call refine() first")
-        flat = weights._compute().reshape(-1)
-        distance = (flat[:, None] - self.state.centroids[None, :]) ** 2
-        return np.argmin(distance, axis=1)
+        dtype = weights.dtype
+        if dtype.is_floating and dtype.itemsize == 2:
+            unique = self.fastpath.uniquify(weights, dtype)
+            assign_u = nearest_centroid(unique.values, self.state.centroids)
+            return assign_u[unique.index_list.astype(np.int64, copy=False)]
+        return nearest_centroid(weights._compute(), self.state.centroids)
 
     def reconstruction_error(self, weights: Tensor) -> float:
         """Mean squared error of hard-assigned reconstruction."""
-        assignments = self.hard_assign(weights)
+        if self.state is None:
+            raise RuntimeError("cluster state not initialized; call refine() first")
+        centroids = self.state.centroids
+        dtype = weights.dtype
+        if dtype.is_floating and dtype.itemsize == 2:
+            unique = self.fastpath.uniquify(weights, dtype)
+            assign_u = nearest_centroid(unique.values, centroids)
+            sq = (unique.values - centroids[assign_u]).astype(np.float64) ** 2
+            return float((sq * unique.counts).sum() / max(unique.n_weights, 1))
         flat = weights._compute().reshape(-1)
-        return float(np.mean((flat - self.state.centroids[assignments]) ** 2))
+        assign = nearest_centroid(flat, centroids)
+        sq = (flat - centroids[assign]).astype(np.float64) ** 2
+        return float(sq.sum() / max(flat.size, 1))

@@ -29,9 +29,11 @@ import numpy as np
 
 from repro.core.config import DKMConfig
 from repro.core.dkm import DKMClusterer
+from repro.core.fastpath import StepCache
 from repro.core.uniquify import attention_table, index_dtype_for, uniquify
 from repro.tensor.autograd import Context, Function, no_grad
 from repro.tensor.dtype import decode_pattern16, float32, uint16
+from repro.tensor.ops.segment import segment_sum
 from repro.tensor.tensor import Tensor
 
 
@@ -45,6 +47,7 @@ class EDKMClusterAssign(Function):
         centroids: Tensor,
         temperature: float,
         reconstruct: bool = True,
+        cache: StepCache | None = None,
     ) -> Tensor:
         from repro.tensor.ops._common import check_same_device, make_result
 
@@ -54,17 +57,26 @@ class EDKMClusterAssign(Function):
             raise TypeError(
                 f"eDKM uniquification requires a 16-bit weight dtype, got {dtype.name}"
             )
-        unique = uniquify(weights._np(), dtype)
+        if cache is not None:
+            # Fast path: refine() already decomposed this weight version and
+            # parked the final-iteration table; reuse both.
+            unique = cache.uniquify(weights, dtype)
+        else:
+            unique = uniquify(weights._np(), dtype)
         c_np = centroids._compute().reshape(-1)
 
-        table_np = attention_table(unique.values, c_np, temperature)  # (u, k)
+        table_np = cache.lookup_table(c_np, temperature) if cache is not None else None
+        if table_np is None:
+            table_np = attention_table(unique.values, c_np, temperature)  # (u, k)
+            if cache is not None:
+                cache.store_table(c_np, temperature, table_np)
         mixed_unique = table_np @ c_np  # (u,)
         out_np = mixed_unique[unique.index_list.astype(np.int64)].reshape(weights.shape)
 
         idx_dtype = index_dtype_for(unique.n_unique)
         table_t = Tensor.from_numpy(table_np, dtype=float32, device=weights.device)
         index_t = Tensor.from_numpy(
-            unique.index_list.astype(idx_dtype.np_storage),
+            unique.index_list.astype(idx_dtype.np_storage, copy=False),
             dtype=idx_dtype,
             device=weights.device,
         )
@@ -161,8 +173,8 @@ def _backward_factorized(
     if not needs_centroid_grad:
         return grad_w, None
 
-    seg_g = np.zeros(w_unique.shape[0], dtype=np.float32)
-    np.add.at(seg_g, index_list, g)  # (u,) segment sums of g
+    # (u,) segment sums of g: O(N) bincount instead of element-wise add.at.
+    seg_g = segment_sum(g, index_list, w_unique.shape[0]).astype(np.float32)
 
     grad_attention_u = seg_g[:, None] * c[None, :]  # (u, k)
     inner_u = (table * grad_attention_u).sum(axis=1, keepdims=True)
@@ -181,15 +193,22 @@ def edkm_cluster(
     """Refine centroids, then run the fused unique-space assignment.
 
     Drop-in alternative to :meth:`DKMClusterer.cluster_dense` with the eDKM
-    saved-tensor footprint.
+    saved-tensor footprint.  Refinement and assignment share the clusterer's
+    :class:`~repro.core.fastpath.StepCache`: one uniquify per layer per
+    weight version, and the final refine-iteration attention table feeds the
+    forward directly.
     """
     with no_grad():
-        state = clusterer.refine(weights)
+        state = clusterer.refine(weights, cache_table=True)
     centroids = Tensor.from_numpy(
         state.centroids, dtype=float32, device=weights.device
     )
     return EDKMClusterAssign.apply(
-        weights, centroids, state.temperature, reconstruct=reconstruct_backward
+        weights,
+        centroids,
+        state.temperature,
+        reconstruct=reconstruct_backward,
+        cache=clusterer.fastpath,
     )
 
 

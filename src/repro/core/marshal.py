@@ -20,6 +20,7 @@ ablation.
 from __future__ import annotations
 
 import weakref
+from collections import deque
 from typing import Iterator
 
 from repro.core.config import PipelineStats
@@ -145,10 +146,11 @@ class MarshalRegistry:
         costs one hop per op.
         """
         visited: set[int] = {id(tensor)}
-        # Items are (tensor-or-node, hops, op-name trace).
-        frontier: list[tuple[object, int, list[str]]] = [(tensor, 0, [])]
+        # Items are (tensor-or-node, hops, op-name trace).  A deque keeps the
+        # BFS pop O(1); list.pop(0) made the walk O(n^2) in frontier size.
+        frontier: deque[tuple[object, int, list[str]]] = deque([(tensor, 0, [])])
         while frontier:
-            current, hops, trace = frontier.pop(0)
+            current, hops, trace = frontier.popleft()
             if isinstance(current, Tensor):
                 entry = self._lookup_tensor(current)
                 if entry is not None and current.storage is tensor.storage:

@@ -63,12 +63,18 @@ class PalettizedTensor:
     def from_weights(
         cls, weights: np.ndarray, lut: np.ndarray, bits: int
     ) -> "PalettizedTensor":
-        """Nearest-centroid hard assignment of ``weights`` onto ``lut``."""
+        """Nearest-centroid hard assignment of ``weights`` onto ``lut``.
+
+        Chunked through :func:`repro.core.dkm.nearest_centroid`, so the
+        distance matrix never exceeds a block x ``2**bits`` slab.
+        """
+        from repro.core.dkm import nearest_centroid
+
         flat = np.asarray(weights, dtype=np.float32).reshape(-1)
         lut = np.asarray(lut, dtype=np.float32)
         if lut.size > (1 << bits):
             raise ValueError(f"LUT of {lut.size} entries exceeds 2^{bits}")
-        assignments = np.argmin((flat[:, None] - lut[None, :]) ** 2, axis=1)
+        assignments = nearest_centroid(flat, lut)
         return cls.from_assignments(lut, assignments, bits, np.asarray(weights).shape)
 
     @property
@@ -106,7 +112,9 @@ def kmeans_palettize(
     Runs plain Lloyd iterations in unique-value space -- the same
     uniquification trick as eDKM, applied to inference-time compression.
     """
+    from repro.core.dkm import nearest_centroid
     from repro.core.uniquify import attention_table  # noqa: F401 (doc cross-ref)
+    from repro.tensor.ops.segment import segment_sum
 
     flat = np.asarray(weights, dtype=np.float32).reshape(-1)
     values, counts = np.unique(flat, return_counts=True)
@@ -114,11 +122,9 @@ def kmeans_palettize(
     quantiles = (np.arange(k) + 0.5) / k
     lut = np.quantile(flat, quantiles).astype(np.float32)
     for _ in range(iters):
-        assign = np.argmin((values[:, None] - lut[None, :]) ** 2, axis=1)
-        sums = np.zeros(k, dtype=np.float64)
-        weights_per = np.zeros(k, dtype=np.float64)
-        np.add.at(sums, assign, values * counts)
-        np.add.at(weights_per, assign, counts)
+        assign = nearest_centroid(values, lut)
+        sums = segment_sum(values * counts, assign, k)
+        weights_per = segment_sum(counts, assign, k)
         new_lut = np.where(weights_per > 0, sums / np.maximum(weights_per, 1), lut)
         if np.allclose(new_lut, lut, atol=1e-10):
             lut = new_lut.astype(np.float32)

@@ -60,12 +60,76 @@ def index_dtype_for(n_unique: int) -> DType:
     return int32
 
 
-def uniquify(weights: np.ndarray, dtype: DType) -> UniquifiedWeights:
-    """Decompose ``weights`` (16-bit dtype) into unique patterns + indices."""
-    patterns = bit_pattern16(weights, dtype).reshape(-1)
+# Below this element count the 2^16-bin histogram's fixed cost beats the
+# sort; "auto" dispatches on it.  Either path is bit-identical.
+HISTOGRAM_MIN_SIZE = 2048
+
+# Total calls that actually computed a decomposition (cache hits in the
+# fast-path StepCache never reach this function).  Inspected by the
+# one-uniquify-per-layer-per-step tests and the fastpath benchmark.
+_CALL_COUNT = 0
+
+
+def uniquify_call_count() -> int:
+    """Number of real uniquify computations since process start / reset."""
+    return _CALL_COUNT
+
+
+def reset_uniquify_call_count() -> None:
+    global _CALL_COUNT
+    _CALL_COUNT = 0
+
+
+def _decompose_sort(
+    patterns: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Legacy O(N log N) decomposition via ``np.unique`` (reference path)."""
     unique_patterns, inverse, counts = np.unique(
         patterns, return_inverse=True, return_counts=True
     )
+    return unique_patterns, inverse.reshape(-1), counts
+
+
+def _decompose_histogram(
+    patterns: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """O(N) decomposition over the fixed 2^16-pattern domain.
+
+    One ``bincount`` over all 65,536 possible uint16 patterns yields the
+    multiplicities; a cumulative sum over the occupancy mask is the
+    pattern -> row lookup table, so the index list is a single
+    ``lut[patterns]`` gather.  Output is bit-identical to ``np.unique``
+    (both enumerate present patterns in ascending order).
+    """
+    hist = np.bincount(patterns, minlength=MAX_UNIQUE_16BIT)
+    present = hist > 0
+    lut = np.cumsum(present) - 1  # pattern -> rank among present patterns
+    unique_patterns = np.flatnonzero(present).astype(np.uint16)
+    counts = hist[present]
+    return unique_patterns, lut[patterns], counts
+
+
+def uniquify(
+    weights: np.ndarray, dtype: DType, method: str = "auto"
+) -> UniquifiedWeights:
+    """Decompose ``weights`` (16-bit dtype) into unique patterns + indices.
+
+    ``method`` selects the decomposition kernel: ``"histogram"`` (the O(N)
+    fixed-domain fast path), ``"sort"`` (legacy ``np.unique``), or
+    ``"auto"`` (histogram above :data:`HISTOGRAM_MIN_SIZE` elements).  All
+    methods return bit-identical results.
+    """
+    global _CALL_COUNT
+    _CALL_COUNT += 1
+    patterns = bit_pattern16(weights, dtype).reshape(-1)
+    if method == "auto":
+        method = "histogram" if patterns.size >= HISTOGRAM_MIN_SIZE else "sort"
+    if method == "histogram":
+        unique_patterns, inverse, counts = _decompose_histogram(patterns)
+    elif method == "sort":
+        unique_patterns, inverse, counts = _decompose_sort(patterns)
+    else:
+        raise ValueError(f"unknown uniquify method {method!r}")
     if unique_patterns.size > MAX_UNIQUE_16BIT:  # pragma: no cover - impossible
         raise AssertionError("more than 2^16 unique 16-bit patterns")
     idx_np = inverse.astype(index_dtype_for(unique_patterns.size).np_storage)

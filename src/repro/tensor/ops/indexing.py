@@ -15,6 +15,12 @@ import numpy as np
 from repro.tensor.autograd import Context, Function
 from repro.tensor.tensor import Tensor
 from repro.tensor.ops._common import check_same_device, make_result
+from repro.tensor.ops.segment import scatter_add_rows
+
+# Widest row (trailing element count) the bincount scatter path accepts in
+# IndexSelect.backward; past this the per-chunk full-domain bincount buffer
+# costs more than the dtype-matched np.add.at it would replace.
+MAX_BINCOUNT_ROW_WIDTH = 64
 
 
 class IndexSelect(Function):
@@ -37,9 +43,24 @@ class IndexSelect(Function):
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
         (indices,) = ctx.saved_tensors
-        g = np.zeros(ctx.weight_shape, dtype=grad.dtype)
-        np.add.at(g, indices._np().astype(np.int64, copy=False), grad)
-        return (g, None)
+        idx = indices._np().reshape(-1).astype(np.int64, copy=False)
+        num_rows = ctx.weight_shape[0]
+        row_width = int(np.prod(ctx.weight_shape[1:], dtype=np.int64))
+        if idx.size < num_rows or row_width > MAX_BINCOUNT_ROW_WIDTH:
+            # Sparse-tall gather (embedding backward: a few thousand tokens
+            # into a 32k-row table) or wide rows: the full-domain bincount
+            # would allocate and scan num_rows*width float64 slots per
+            # chunk for comparatively few contributions -- measured 4x
+            # slower at vocab 16k x 1024.  The dtype-matched np.add.at
+            # stays on numpy's vectorized indexed loop there.
+            g = np.zeros(ctx.weight_shape, dtype=grad.dtype)
+            np.add.at(g, idx, grad.reshape((idx.size,) + ctx.weight_shape[1:]))
+            return (g, None)
+        # Dense narrow gather (duplicates dominate, as in eDKM's
+        # table[index_list]): one bincount pass over the composite
+        # row*width key with float64 accumulation.
+        g = scatter_add_rows(idx, grad.reshape(idx.size, row_width), num_rows)
+        return (g.reshape(ctx.weight_shape).astype(grad.dtype, copy=False), None)
 
 
 class TakeAlongDim(Function):
@@ -63,6 +84,11 @@ class TakeAlongDim(Function):
         g = np.zeros(ctx.in_shape, dtype=grad.dtype)
         idx = indices._np().astype(np.int64, copy=False)
         # Accumulating scatter: duplicate indices must sum their grads.
+        # Deliberately NOT a bincount: a take-along gather touches at most
+        # grad.size slots of a domain that is typically orders of magnitude
+        # larger (cross-entropy picks 1 of |vocab| per row), and bincount
+        # must allocate and scan every slot of that domain -- measured
+        # ~100x slower than this dtype-matched np.add.at on LLM shapes.
         np.add.at(g, _along_axis_key(idx, ctx.dim, ctx.in_shape), grad)
         return (g, None)
 

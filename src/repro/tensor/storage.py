@@ -24,7 +24,15 @@ from repro.tensor.dtype import DType
 class Storage:
     """A 1-D physical buffer charged against a device tracker."""
 
-    __slots__ = ("data", "dtype", "device", "nbytes", "_finalizer", "__weakref__")
+    __slots__ = (
+        "data",
+        "dtype",
+        "device",
+        "nbytes",
+        "version",
+        "_finalizer",
+        "__weakref__",
+    )
 
     def __init__(self, data: np.ndarray, dtype: DType, device: Device) -> None:
         if data.ndim != 1:
@@ -38,6 +46,10 @@ class Storage:
         self.dtype = dtype
         self.device = device
         self.nbytes = int(data.size) * dtype.itemsize
+        # In-place write counter (PyTorch ``_version`` analogue).  Bumped by
+        # every Tensor in-place mutation; per-layer step caches key on it to
+        # detect optimizer writes between training steps.
+        self.version = 0
         device.tracker.allocate(self.nbytes)
         self._finalizer = weakref.finalize(self, device.tracker.release, self.nbytes)
 
