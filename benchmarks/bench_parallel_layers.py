@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Parallel compression-engine benchmark entry point.
+
+Times a multi-layer ``precluster`` sweep (per-layer refine + hard assign)
+serially vs through the thread-pool layer fan-out, asserts the parallel
+results are bit-identical to the serial sweep (centroids, assignments, and
+per-layer step-cache hit/miss counters), demonstrates the chunked
+``cluster_dense`` fallback on a layer the monolithic dense composition
+refuses, and writes ``benchmarks/results/BENCH_parallel.json``.
+
+Kept out of the tier-1 pytest run (timing assertions do not belong in the
+correctness suite); run it as a single command:
+
+    PYTHONPATH=src python benchmarks/bench_parallel_layers.py
+
+The >= 1.5x speedup gate only applies on hosts with at least 4 CPUs (a
+thread pool cannot beat serial on fewer cores); bit-exactness and the
+chunked-fallback assertions always apply.  Exit status is non-zero on any
+failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.parallel_layers import run_parallel_layers  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
+
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (min is reported)"
+    )
+    parser.add_argument("--layers", type=int, default=8)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="speedup floor enforced when the host has >= 4 CPUs "
+        "(0 disables the gate; correctness assertions always run)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller shapes and a single repeat (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run_parallel_layers(
+            n_layers=args.layers,
+            in_features=256,
+            out_features=512,
+            workers=args.workers,
+            repeats=max(1, min(args.repeats, 2)),
+            # 4.7M weights: ~25% smaller than the 6M default while still
+            # over the 4.19M threshold of the default dense limit at k=16.
+            dense_weights=(1 << 22) + (1 << 19),
+            seed=args.seed,
+        )
+    else:
+        result = run_parallel_layers(
+            n_layers=args.layers,
+            workers=args.workers,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+
+    failures: list[str] = []
+    gate_active = (
+        args.min_speedup > 0 and result.cpu_count >= MIN_CORES_FOR_SPEEDUP_GATE
+    )
+    for row in result.sweeps:
+        label = f"sweep layers={row.n_layers} x {row.weights_per_layer}w"
+        print(
+            f"{label:<36} serial {row.serial_seconds:.4f}s  "
+            f"parallel({row.workers}w) {row.parallel_seconds:.4f}s  "
+            f"speedup {row.speedup:.2f}x  bit-identical={row.bit_identical}  "
+            f"stats-identical={row.stats_identical}"
+        )
+        if not row.bit_identical:
+            failures.append(f"{label}: parallel outputs differ from serial")
+        if not row.stats_identical:
+            failures.append(f"{label}: per-layer step-cache counters differ")
+        if gate_active and row.speedup < args.min_speedup:
+            failures.append(
+                f"{label}: speedup {row.speedup:.2f}x below the "
+                f"{args.min_speedup}x floor ({result.cpu_count} cores)"
+            )
+    if not gate_active:
+        print(
+            f"speedup gate skipped (cpu_count={result.cpu_count}, "
+            f"min_speedup={args.min_speedup})"
+        )
+    for row in result.chunked:
+        label = f"chunked dense N={row.n_weights} k={row.n_clusters}"
+        print(
+            f"{label:<36} monolithic-raises={row.monolithic_raises}  "
+            f"chunked({row.row_chunk}) {row.chunked_seconds:.3f}s  "
+            f"matches-edkm={row.matches_edkm_forward}"
+        )
+        if not row.monolithic_raises:
+            failures.append(
+                f"{label}: monolithic dense composition did not refuse a "
+                "layer over the saved-bytes limit"
+            )
+        if not row.matches_edkm_forward:
+            failures.append(f"{label}: chunked output diverges from eDKM forward")
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload = result.to_json_dict()
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["min_speedup"] = args.min_speedup
+    payload["speedup_gate_active"] = gate_active
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all parallel-engine assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

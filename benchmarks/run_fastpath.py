@@ -23,7 +23,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench.fastpath import run_fastpath  # noqa: E402
+from repro.bench.fastpath import REFERENCE_SHAPES, run_fastpath  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_fastpath.json")
@@ -47,10 +47,32 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=3, help="timing repeats (min is reported)"
     )
     parser.add_argument("--steps", type=int, default=4, help="training steps timed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller shapes and fewer repeats (CI smoke configuration); "
+        "all bit-exactness and not-slower assertions still apply",
+    )
     parser.add_argument("--output", default=ARTIFACT)
     args = parser.parse_args(argv)
 
-    result = run_fastpath(repeats=args.repeats, steps=args.steps, seed=args.seed)
+    if args.quick:
+        uniquify_sizes = (1 << 16, 1 << 20)
+        repeats = min(args.repeats, 2)
+        step_weights = 1 << 16
+        steps = min(args.steps, 2)
+    else:
+        uniquify_sizes = REFERENCE_SHAPES
+        repeats = args.repeats
+        step_weights = 1 << 18
+        steps = args.steps
+    result = run_fastpath(
+        uniquify_sizes=uniquify_sizes,
+        repeats=repeats,
+        step_weights=step_weights,
+        steps=steps,
+        seed=args.seed,
+    )
 
     failures: list[str] = []
     for row in result.uniquify:
@@ -108,8 +130,11 @@ def main(argv: list[str] | None = None) -> int:
 
     os.makedirs(os.path.dirname(args.output), exist_ok=True)
     payload = result.to_json_dict()
+    # Record the *effective* configuration (--quick clamps both knobs).
     payload["seed"] = args.seed
-    payload["repeats"] = args.repeats
+    payload["repeats"] = repeats
+    payload["steps"] = steps
+    payload["quick"] = args.quick
     payload["ok"] = not failures
     payload["failures"] = failures
     with open(args.output, "w", encoding="utf-8") as fh:

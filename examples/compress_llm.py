@@ -8,7 +8,6 @@ lm-eval-style suites -- the Table 3 pipeline at substrate scale.
 Run:  python examples/compress_llm.py         (~2-3 minutes on a laptop)
 """
 
-import numpy as np
 
 import repro.tensor as rt
 from repro.baselines import quantize_model_rtn

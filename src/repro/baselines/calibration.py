@@ -83,7 +83,7 @@ def record_linear_inputs(
 
 
 def collect_calibration(
-    model: Module, batches: "Iterable[Batch]", max_batches: int = 8
+    model: Module, batches: Iterable[Batch], max_batches: int = 8
 ) -> dict[str, LayerCalibration]:
     """Run ``model`` over calibration batches, returning per-layer stats."""
     with record_linear_inputs(model) as records:

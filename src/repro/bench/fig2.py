@@ -17,7 +17,6 @@ import numpy as np
 from repro.core.config import EDKMConfig
 from repro.core.offload import SavedTensorPipeline
 from repro.memory import global_ledger, profile_memory
-from repro.tensor.autograd import no_grad
 from repro.tensor.device import CPU, GPU
 from repro.tensor.tensor import Tensor
 

@@ -1,0 +1,264 @@
+"""Parallel compression-engine benchmark: serial vs threaded layer fan-out.
+
+Two claims of the parallel engine (ISSUE 2) are measured:
+
+- **layer fan-out**: a multi-layer ``precluster`` sweep (per-layer refine +
+  hard assign) through ``ModelCompressor`` with ``num_workers=1`` vs a
+  thread pool, asserting the parallel results -- centroids, assignments,
+  and per-layer step-cache hit/miss counters -- are bit-identical to the
+  serial sweep;
+- **chunked dense fallback**: ``DKMClusterer.cluster_dense`` on a layer
+  whose monolithic ``O(|W|·|C|)`` composition is refused up front
+  (:class:`MemoryError` via ``dense_saved_bytes_limit``), shown to run
+  under ``row_chunk`` and to agree with the eDKM unique-space forward.
+
+``benchmarks/bench_parallel_layers.py`` wraps :func:`run_parallel_layers`
+into a deterministic command-line entry point that writes the
+``BENCH_parallel.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core.compressor import ModelCompressor
+from repro.core.config import CompressorConfig, DKMConfig
+from repro.core.dkm import DKMClusterer
+from repro.core.edkm import edkm_cluster
+from repro.core.fastpath import FastPathStats
+from repro.tensor.dtype import bfloat16
+from repro.tensor.tensor import Tensor
+
+
+class _LinearStack(nn.Module):
+    """``n_layers`` independent Linears -- the multi-layer fan-out target."""
+
+    def __init__(self, n_layers: int, in_features: int, out_features: int, seed: int):
+        super().__init__()
+        for i in range(n_layers):
+            setattr(
+                self,
+                f"layer{i}",
+                nn.Linear(
+                    in_features,
+                    out_features,
+                    bias=False,
+                    rng=np.random.default_rng(seed + i),
+                ),
+            )
+
+
+@dataclass
+class ParallelSweepRow:
+    """One serial-vs-parallel comparison of a full precluster sweep."""
+
+    n_layers: int
+    weights_per_layer: int
+    workers: int
+    serial_seconds: float
+    parallel_seconds: float
+    bit_identical: bool
+    stats_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / max(self.parallel_seconds, 1e-12)
+
+
+@dataclass
+class ChunkedDenseRow:
+    """The dense-ablation scaling demonstration."""
+
+    n_weights: int
+    n_clusters: int
+    row_chunk: int
+    monolithic_raises: bool
+    monolithic_error: str
+    chunked_seconds: float
+    matches_edkm_forward: bool
+
+
+@dataclass
+class ParallelBenchResult:
+    cpu_count: int = 0
+    sweeps: list[ParallelSweepRow] = field(default_factory=list)
+    chunked: list[ChunkedDenseRow] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        sweeps = []
+        for row in self.sweeps:
+            d = asdict(row)
+            d["speedup"] = row.speedup
+            sweeps.append(d)
+        return {
+            "benchmark": "parallel_layers",
+            "cpu_count": self.cpu_count,
+            "sweeps": sweeps,
+            "chunked_dense": [asdict(row) for row in self.chunked],
+        }
+
+
+def _build_compressor(
+    n_layers: int,
+    in_features: int,
+    out_features: int,
+    bits: int,
+    iters: int,
+    workers: int,
+    seed: int,
+) -> ModelCompressor:
+    stack = _LinearStack(n_layers, in_features, out_features, seed)
+    stack.to("gpu")
+    compressor = ModelCompressor(
+        DKMConfig(bits=bits, iters=iters),
+        config=CompressorConfig(num_workers=workers),
+    )
+    compressor.compress(stack)
+    return compressor
+
+
+def _reset(compressor: ModelCompressor) -> None:
+    """Fresh clustering state + empty step caches for a timed sweep."""
+    for wrapper in compressor.wrapped.values():
+        wrapper.clusterer.state = None
+        wrapper.step_cache.invalidate()
+        wrapper.step_cache.stats = FastPathStats()
+
+
+def _timed_sweep(compressor: ModelCompressor, repeats: int) -> tuple[float, dict]:
+    best = float("inf")
+    results: dict = {}
+    for _ in range(repeats):
+        _reset(compressor)
+        t0 = time.perf_counter()
+        results = compressor.precluster()
+        best = min(best, time.perf_counter() - t0)
+    return best, results
+
+
+def _sweep_row(
+    n_layers: int,
+    in_features: int,
+    out_features: int,
+    workers: int,
+    bits: int,
+    iters: int,
+    repeats: int,
+    seed: int,
+) -> ParallelSweepRow:
+    serial = _build_compressor(
+        n_layers, in_features, out_features, bits, iters, workers=1, seed=seed
+    )
+    parallel = _build_compressor(
+        n_layers, in_features, out_features, bits, iters, workers=workers, seed=seed
+    )
+
+    serial_s, serial_res = _timed_sweep(serial, repeats)
+    parallel_s, parallel_res = _timed_sweep(parallel, repeats)
+
+    bit_identical = list(serial_res) == list(parallel_res) and all(
+        np.array_equal(serial_res[name].centroids, parallel_res[name].centroids)
+        and np.array_equal(serial_res[name].assignments, parallel_res[name].assignments)
+        and serial_res[name].temperature == parallel_res[name].temperature
+        for name in serial_res
+    )
+    serial_stats = {
+        name: repr(wrapper.step_cache.stats)
+        for name, wrapper in serial.wrapped.items()
+    }
+    parallel_stats = {
+        name: repr(wrapper.step_cache.stats)
+        for name, wrapper in parallel.wrapped.items()
+    }
+    return ParallelSweepRow(
+        n_layers=n_layers,
+        weights_per_layer=in_features * out_features,
+        workers=workers,
+        serial_seconds=serial_s,
+        parallel_seconds=parallel_s,
+        bit_identical=bit_identical,
+        stats_identical=serial_stats == parallel_stats,
+    )
+
+
+def _chunked_dense_row(
+    n_weights: int, bits: int, row_chunk: int, seed: int
+) -> ChunkedDenseRow:
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n_weights).astype(np.float32) * 0.05
+    config = DKMConfig(bits=bits, iters=2)
+
+    # No grad consumer here: the timed run measures the deployment-style
+    # clustering sweep, so leave autograd recording off (gradient exactness
+    # of the chunked path is covered by tests/test_parallel_compress.py).
+    weights = Tensor.from_numpy(values, dtype=bfloat16)
+    clusterer = DKMClusterer(config)
+    monolithic_raises, monolithic_error = False, ""
+    try:
+        clusterer.cluster_dense(weights)
+    except MemoryError as exc:
+        monolithic_raises, monolithic_error = True, str(exc)
+
+    t0 = time.perf_counter()
+    chunked_out = clusterer.cluster_dense(weights, row_chunk=row_chunk)
+    chunked_s = time.perf_counter() - t0
+
+    # Same converged state through the eDKM unique-space forward: the dense
+    # soft reconstruction must agree (both project back to the bf16 grid).
+    edkm_weights = Tensor.from_numpy(values, dtype=bfloat16)
+    edkm_clusterer = DKMClusterer(config)
+    edkm_out = edkm_cluster(edkm_weights, edkm_clusterer)
+    matches = bool(
+        np.allclose(
+            chunked_out.numpy().astype(np.float32),
+            edkm_out.numpy().astype(np.float32),
+            atol=1e-2,
+            rtol=1e-2,
+        )
+    )
+    return ChunkedDenseRow(
+        n_weights=n_weights,
+        n_clusters=config.n_clusters,
+        row_chunk=row_chunk,
+        monolithic_raises=monolithic_raises,
+        monolithic_error=monolithic_error,
+        chunked_seconds=chunked_s,
+        matches_edkm_forward=matches,
+    )
+
+
+def run_parallel_layers(
+    n_layers: int = 8,
+    in_features: int = 512,
+    out_features: int = 512,
+    workers: int = 4,
+    bits: int = 3,
+    iters: int = 3,
+    repeats: int = 3,
+    dense_weights: int = 6 << 20,
+    dense_bits: int = 4,
+    dense_row_chunk: int = 1 << 16,
+    seed: int = 0,
+) -> ParallelBenchResult:
+    """Run the fan-out and chunked-dense benchmarks with a fixed seed.
+
+    ``dense_weights`` defaults to 6M elements so the monolithic dense
+    composition (``|W| x 16`` float32 buffers, ~400 MB each) trips the
+    default ``dense_saved_bytes_limit`` -- the layer size that previously
+    could only run through the eDKM path.
+    """
+    result = ParallelBenchResult(cpu_count=os.cpu_count() or 1)
+    result.sweeps.append(
+        _sweep_row(
+            n_layers, in_features, out_features, workers, bits, iters, repeats, seed
+        )
+    )
+    result.chunked.append(
+        _chunked_dense_row(dense_weights, dense_bits, dense_row_chunk, seed)
+    )
+    return result

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 
 from repro.baselines import (
     apply_qat,
-    collect_calibration,
     freeze_qat,
     quantize_model_awq,
     quantize_model_gptq,

@@ -11,15 +11,18 @@ Public surface:
 - :class:`SavedTensorPipeline` -- saved-tensor offloading with cross-device
   marshaling and sharding (paper Section 2.1).
 - :class:`ModelCompressor` / :class:`ClusteredLinear` -- model-level
-  train-time compression and palettization.
+  train-time compression and palettization, with a thread-pool per-layer
+  fan-out configured by :class:`CompressorConfig`.
 """
 
-from repro.core.config import DKMConfig, EDKMConfig, PipelineStats
+from repro.core.config import CompressorConfig, DKMConfig, EDKMConfig, PipelineStats
 from repro.core.compressor import (
     ClusteredLinear,
     CompressionReport,
+    LayerClusterResult,
     ModelCompressor,
     dequantized_state,
+    parallel_layer_map,
 )
 from repro.core.dkm import (
     ClusterState,
@@ -51,13 +54,16 @@ from repro.core.uniquify import (
 )
 
 __all__ = [
+    "CompressorConfig",
     "DKMConfig",
     "EDKMConfig",
     "PipelineStats",
     "ClusteredLinear",
     "CompressionReport",
+    "LayerClusterResult",
     "ModelCompressor",
     "dequantized_state",
+    "parallel_layer_map",
     "ClusterState",
     "DKMClusterer",
     "default_temperature",

@@ -5,22 +5,63 @@ weight through DKM/eDKM -- the train-time weight clustering the paper
 fine-tunes with.  ``ModelCompressor`` swaps the wrappers into a model,
 coordinates the shared :class:`~repro.core.offload.SavedTensorPipeline`,
 and finalizes the fine-tuned model into palettized artifacts.
+
+Per-layer clustering is embarrassingly parallel -- each ``ClusteredLinear``
+owns its weight storage, its :class:`~repro.core.dkm.DKMClusterer`, and its
+:class:`~repro.core.fastpath.StepCache` -- so the compressor fans
+``refine``/``hard_assign``/``palettize`` sweeps out over a thread pool
+(:func:`parallel_layer_map`).  numpy releases the GIL inside the big
+uniquify/gather/softmax kernels, which is where the per-layer time goes, so
+the fan-out overlaps on multi-core hosts while staying bit-identical to the
+serial sweep: each layer is handed to exactly one worker, and results are
+collected in layer insertion order regardless of completion order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
 
 import numpy as np
 
-from repro.core.config import DKMConfig, EDKMConfig
-from repro.core.dkm import DKMClusterer
+from repro.core.config import CompressorConfig, DKMConfig, EDKMConfig
+from repro.core.dkm import ClusterState, DKMClusterer
 from repro.core.edkm import cluster
 from repro.core.fastpath import FastPathReport, FastPathStats, StepCache
 from repro.core.palettize import PalettizedTensor, kmeans_palettize
 from repro.nn.linear import Embedding, Linear
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_layer_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[tuple[str, _T]],
+    num_workers: int,
+) -> dict[str, _R]:
+    """Apply ``fn`` to named, independent layer tasks; deterministic order.
+
+    With ``num_workers <= 1`` (or a single task) this is a plain serial
+    loop on the calling thread -- the reference behavior.  Otherwise tasks
+    are submitted to a :class:`ThreadPoolExecutor` in input order and the
+    results are *gathered* in input order, so the returned dict is
+    identical to the serial sweep's no matter how the pool interleaves.
+    Exceptions propagate from the first failing task in input order.
+
+    Callers must hand each layer to exactly one task: the per-layer
+    clusterer, step cache, and cluster state are only synchronized against
+    concurrent use of *different* layers (see ``StepCache``'s lock notes).
+    """
+    pairs = list(items)
+    if num_workers <= 1 or len(pairs) <= 1:
+        return {name: fn(task) for name, task in pairs}
+    with ThreadPoolExecutor(max_workers=num_workers) as pool:
+        futures = [(name, pool.submit(fn, task)) for name, task in pairs]
+        return {name: future.result() for name, future in futures}
 
 
 class ClusteredLinear(Module):
@@ -122,6 +163,23 @@ def _reproject_storage(param, dtype):
 
 
 @dataclass
+class LayerClusterResult:
+    """One layer's converged clustering, as returned by ``precluster``.
+
+    ``centroids`` is a snapshot (copied out of the mutable
+    :class:`~repro.core.dkm.ClusterState`), so results stay stable if
+    training continues; ``assignments`` is the flat nearest-centroid index
+    per weight position.
+    """
+
+    centroids: np.ndarray  # (k,) float32 snapshot
+    temperature: float
+    iterations_run: int
+    assignments: np.ndarray  # (|W|,) int64
+    reconstruction_error: float | None = None
+
+
+@dataclass
 class CompressionReport:
     """Sizes of the palettized model."""
 
@@ -156,16 +214,38 @@ class ModelCompressor:
         self,
         dkm_config: DKMConfig,
         edkm_config: EDKMConfig | None = None,
-        embedding_bits: int = 8,
-        skip_names: tuple[str, ...] = (),
+        embedding_bits: int | None = None,
+        skip_names: tuple[str, ...] | None = None,
+        config: CompressorConfig | None = None,
     ) -> None:
         self.dkm_config = dkm_config
         self.edkm_config = edkm_config or EDKMConfig(
             offload=False, marshal=False, uniquify=True, shard=False, group=None
         )
-        self.embedding_bits = embedding_bits
-        self.skip_names = skip_names
+        # The loose keyword arguments are the long-standing shorthand for
+        # the serial engine; a CompressorConfig carries the same fields, so
+        # mixing the two would make one of them silently lose.
+        if config is not None:
+            if embedding_bits is not None or skip_names is not None:
+                raise ValueError(
+                    "pass embedding_bits/skip_names on the CompressorConfig "
+                    "when a config object is given, not as keyword arguments"
+                )
+            self.config = config
+        else:
+            self.config = CompressorConfig(
+                embedding_bits=8 if embedding_bits is None else embedding_bits,
+                skip_names=() if skip_names is None else skip_names,
+            )
         self.wrapped: dict[str, ClusteredLinear] = {}
+
+    @property
+    def embedding_bits(self) -> int:
+        return self.config.embedding_bits
+
+    @property
+    def skip_names(self) -> tuple[str, ...]:
+        return self.config.skip_names
 
     def compress(self, model: Module) -> Module:
         """Replace every target Linear in ``model`` with a ClusteredLinear."""
@@ -190,6 +270,59 @@ class ModelCompressor:
             else:
                 self._wrap_children(child, prefix=f"{full_name}.")
 
+    # ------------------------------------------------------------------
+    # Parallel per-layer engine
+    # ------------------------------------------------------------------
+
+    def _layer_map(self, fn: Callable[[ClusteredLinear], _R]) -> dict[str, _R]:
+        """Fan ``fn`` out over all wrapped layers (see ``parallel_layer_map``)."""
+        return parallel_layer_map(
+            fn,
+            self.wrapped.items(),
+            self.config.resolve_workers(len(self.wrapped)),
+        )
+
+    def refine_all(self, cache_table: bool = False) -> dict[str, ClusterState]:
+        """Converge every layer's centroids; one pool task per layer.
+
+        Equivalent to calling ``wrapper.clusterer.refine`` on each wrapped
+        layer in insertion order, and bit-identical to that serial sweep:
+        layers share no clustering state, so the fan-out cannot reorder any
+        floating-point reduction *within* a layer.
+        """
+        return self._layer_map(
+            lambda wrapper: wrapper.clusterer.refine(
+                wrapper.inner.weight, cache_table=cache_table
+            )
+        )
+
+    def precluster(self, compute_error: bool = False) -> dict[str, LayerClusterResult]:
+        """Refine + hard-assign every layer, in parallel, snapshotting results.
+
+        This is the multi-layer compression sweep the paper runs once per
+        checkpoint/deployment: converge centroids, then map each weight to
+        its nearest centroid.  Returns per-layer
+        :class:`LayerClusterResult` in layer insertion order.
+        """
+
+        def one(wrapper: ClusteredLinear) -> LayerClusterResult:
+            state = wrapper.clusterer.refine(wrapper.inner.weight, cache_table=True)
+            assignments = wrapper.clusterer.hard_assign(wrapper.inner.weight)
+            error = (
+                wrapper.clusterer.reconstruction_error(wrapper.inner.weight)
+                if compute_error
+                else None
+            )
+            return LayerClusterResult(
+                centroids=state.centroids.copy(),
+                temperature=state.temperature,
+                iterations_run=state.iterations_run,
+                assignments=np.asarray(assignments, dtype=np.int64),
+                reconstruction_error=error,
+            )
+
+        return self._layer_map(one)
+
     def fastpath_report(self) -> FastPathReport:
         """Aggregate per-layer step-cache hit/miss counters.
 
@@ -211,10 +344,16 @@ class ModelCompressor:
             wrapper.step_cache.invalidate()
 
     def finalize(self, model: Module) -> CompressionReport:
-        """Palettize all clustered layers and embeddings; report sizes."""
+        """Palettize all clustered layers and embeddings; report sizes.
+
+        The per-layer palettization (refine + hard assign + pack) fans out
+        over the engine's worker pool; embeddings and the byte accounting
+        stay on the calling thread.
+        """
         report = CompressionReport()
-        for name, wrapper in self.wrapped.items():
-            report.palettized[name] = wrapper.palettize()
+        report.palettized.update(
+            self._layer_map(lambda wrapper: wrapper.palettize())
+        )
         for name, module in model.named_modules():
             if isinstance(module, Embedding):
                 report.palettized[f"{name}.weight"] = kmeans_palettize(

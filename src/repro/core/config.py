@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.distributed.learner import LearnerGroup
@@ -22,6 +23,15 @@ class DKMConfig:
         tol: early-stop threshold on centroid movement.
         weight_dtype: 16-bit dtype weights are clustered in (uniquification
             keys on its bit patterns; paper fine-tunes in bfloat16).
+        dense_row_chunk: when set, :meth:`DKMClusterer.cluster_dense` runs
+            the dense DKM ablation in row blocks of this many weights, so
+            its materialized/saved buffers are bounded at ``chunk x k``
+            instead of ``|W| x k``.  ``None`` keeps the original monolithic
+            composition (subject to ``dense_saved_bytes_limit``).
+        dense_saved_bytes_limit: refuse the monolithic dense composition
+            when one of its ``O(|W|·|C|)`` float32 buffers would exceed this
+            many bytes, instead of letting the host OOM; the error message
+            points at ``dense_row_chunk``.
     """
 
     bits: int = 3
@@ -29,6 +39,8 @@ class DKMConfig:
     iters: int = 5
     tol: float = 1e-8
     weight_dtype: DType = bfloat16
+    dense_row_chunk: int | None = None
+    dense_saved_bytes_limit: int = 256 << 20
 
     def __post_init__(self) -> None:
         if not 1 <= self.bits <= 8:
@@ -37,10 +49,47 @@ class DKMConfig:
             raise ValueError("temperature must be positive")
         if self.iters < 1:
             raise ValueError("need at least one k-means iteration")
+        if self.dense_row_chunk is not None and self.dense_row_chunk < 1:
+            raise ValueError("dense_row_chunk must be positive when set")
+        if self.dense_saved_bytes_limit < 1:
+            raise ValueError("dense_saved_bytes_limit must be positive")
 
     @property
     def n_clusters(self) -> int:
         return 2**self.bits
+
+
+@dataclass
+class CompressorConfig:
+    """Model-level compression engine knobs (see ``ModelCompressor``).
+
+    Attributes:
+        num_workers: thread-pool width for the per-layer fan-out of
+            ``refine``/``hard_assign``/``palettize`` across
+            ``ClusteredLinear`` instances.  ``1`` (default) runs the layers
+            serially on the calling thread; ``0`` means "one worker per
+            visible CPU".  Per-layer clustering is embarrassingly parallel
+            (each layer owns its clusterer, step cache, and weight storage)
+            and numpy releases the GIL inside the big kernels, so workers
+            overlap on multi-core hosts.  Results are returned in layer
+            insertion order regardless of completion order.
+        embedding_bits: post-training palettization width for embeddings
+            (paper: "we also compressed the embedding layers with 8 bits").
+        skip_names: module-path prefixes exempted from wrapping.
+    """
+
+    num_workers: int = 1
+    embedding_bits: int = 8
+    skip_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+
+    def resolve_workers(self, n_tasks: int) -> int:
+        """Effective pool width for ``n_tasks`` independent layers."""
+        workers = self.num_workers if self.num_workers > 0 else (os.cpu_count() or 1)
+        return max(1, min(workers, n_tasks))
 
 
 @dataclass

@@ -148,7 +148,7 @@ class DKMClusterer:
     # Differentiable assignment -- dense DKM path
     # ------------------------------------------------------------------
 
-    def cluster_dense(self, weights: Tensor) -> Tensor:
+    def cluster_dense(self, weights: Tensor, row_chunk: int | None = None) -> Tensor:
         """Soft-reconstruct ``weights`` through the dense attention map.
 
         Composed from primitive ops so every intermediate flows through the
@@ -156,7 +156,47 @@ class DKMClusterer:
         does in PyTorch.  Saved tensors of this path (per weight tensor):
         the squared-distance matrix and the attention map, each
         ``O(|W|·|C|)``, plus small vectors.
+
+        ``row_chunk`` (default ``config.dense_row_chunk``) switches to the
+        blocked fallback: the flattened weight is clustered in row blocks of
+        ``row_chunk`` positions, each through the same primitive composition
+        (so per-position gradients are exactly the monolithic ones -- the
+        softmax and mixture are row-local), and the block outputs are
+        concatenated.  Each individual buffer is then bounded at
+        ``row_chunk x k``: the *transient* working set (the no-grad sweeps,
+        eval/palettization, and each op's scratch) shrinks accordingly, and
+        every saved-for-backward tensor becomes small enough for the
+        offload pipeline to spill or shard per block.  The *total*
+        retained-for-backward footprint of a grad-recording forward is
+        still ``O(|W|·|C|)`` summed over blocks -- that is inherent to
+        dense DKM and is exactly the memory wall eDKM exists to remove.
+        Without a chunk size, a monolithic composition whose
+        ``O(|W|·|C|)`` float32 buffers would exceed
+        ``config.dense_saved_bytes_limit`` raises :class:`MemoryError` up
+        front instead of thrashing the host.
+
+        Refinement always goes through the shared :class:`StepCache`
+        uniquify; when the cache already carries the converged attention
+        table for small ``|W|`` (one block), the no-grad refine cost is
+        amortized exactly as on the eDKM path.
         """
+        if row_chunk is None:
+            row_chunk = self.config.dense_row_chunk
+        elif row_chunk < 1:
+            raise ValueError(f"row_chunk must be positive when set, got {row_chunk}")
+        n_weights = weights.numel
+        k = self.config.n_clusters
+        if row_chunk is None:
+            dense_bytes = n_weights * k * 4
+            if dense_bytes > self.config.dense_saved_bytes_limit:
+                raise MemoryError(
+                    f"dense DKM would materialize {dense_bytes} bytes per "
+                    f"O(|W|·|C|) buffer ({n_weights} weights x {k} centroids), "
+                    f"over the {self.config.dense_saved_bytes_limit}-byte limit; "
+                    "set dense_row_chunk (DKMConfig / cluster_dense argument) "
+                    "to use the blocked fallback, or use the eDKM path"
+                )
+            row_chunk = n_weights  # single block == original monolithic path
         with no_grad():
             state = self.refine(weights)
         centroids = Tensor.from_numpy(
@@ -164,12 +204,17 @@ class DKMClusterer:
         )
 
         flat = weights.reshape(-1)
-        diff = flat.unsqueeze(1) - centroids.unsqueeze(0)  # (N, k)
-        sq_dist = diff * diff  # saves `diff` twice (same storage)
-        logits = sq_dist * (-1.0 / state.temperature)
-        attention = ops.softmax(logits, dim=1)  # the O(|W|·|C|) map
-        mixed = attention @ centroids.unsqueeze(1)  # saves `attention` again
-        reconstructed = mixed.reshape(weights.shape)
+        blocks = []
+        for start in range(0, max(n_weights, 1), max(row_chunk, 1)):
+            block = flat[start : min(start + row_chunk, n_weights)]
+            diff = block.unsqueeze(1) - centroids.unsqueeze(0)  # (chunk, k)
+            sq_dist = diff * diff  # saves `diff` twice (same storage)
+            logits = sq_dist * (-1.0 / state.temperature)
+            attention = ops.softmax(logits, dim=1)  # the (chunk, k) map
+            mixed = attention @ centroids.unsqueeze(1)  # saves `attention` again
+            blocks.append(mixed.reshape(-1))
+        mixed_flat = blocks[0] if len(blocks) == 1 else ops.cat(blocks, dim=0)
+        reconstructed = mixed_flat.reshape(weights.shape)
         return reconstructed.cast(weights.dtype)
 
     # ------------------------------------------------------------------

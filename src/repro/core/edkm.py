@@ -27,7 +27,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.config import DKMConfig
 from repro.core.dkm import DKMClusterer
 from repro.core.fastpath import StepCache
 from repro.core.uniquify import attention_table, index_dtype_for, uniquify
@@ -217,8 +216,14 @@ def cluster(
     clusterer: DKMClusterer,
     uniquify_enabled: bool,
     reconstruct_backward: bool = True,
+    dense_row_chunk: int | None = None,
 ) -> Tensor:
-    """Dispatch between the dense DKM path and the eDKM unique path."""
+    """Dispatch between the dense DKM path and the eDKM unique path.
+
+    ``dense_row_chunk`` overrides the clusterer config's chunk size for the
+    dense ablation (``None`` defers to ``DKMConfig.dense_row_chunk``); it is
+    ignored on the eDKM path, which never materializes dense buffers.
+    """
     if uniquify_enabled:
         return edkm_cluster(weights, clusterer, reconstruct_backward)
-    return clusterer.cluster_dense(weights)
+    return clusterer.cluster_dense(weights, row_chunk=dense_row_chunk)

@@ -33,9 +33,10 @@ model sits idle between phases.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
-import weakref
 
 import numpy as np
 
@@ -79,9 +80,18 @@ class StepCache:
     anything deeper would never be hit.  Storage identity is validated
     through a weak reference (ids can be recycled after garbage
     collection, exactly the hazard ``MarshalRegistry`` guards against).
+
+    Thread safety: the parallel compression engine hands each layer (and
+    therefore each cache) to exactly one pool worker per sweep, but the
+    memo, the derived table, and the hit/miss counters are nevertheless
+    guarded by a per-cache reentrant lock so concurrent calls against one
+    cache stay consistent (an interleaved miss can at worst recompute, it
+    can never corrupt the memo or lose counter increments).  Distinct
+    layers own distinct caches and never contend.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._storage_ref: weakref.ReferenceType | None = None
         self._key: tuple | None = None
         self._unique: UniquifiedWeights | None = None
@@ -105,24 +115,25 @@ class StepCache:
 
     def uniquify(self, weights: "Tensor", dtype: DType) -> UniquifiedWeights:
         """The decomposition of ``weights``, computed at most once per version."""
-        key = self._weight_key(weights, dtype)
-        if (
-            self._unique is not None
-            and self._key == key
-            and self._storage_ref is not None
-            and self._storage_ref() is weights.storage
-        ):
-            self.stats.uniquify_hits += 1
-            return self._unique
-        self.stats.uniquify_misses += 1
-        unique = uniquify(weights._np(), dtype)
-        # Drop everything derived from the previous decomposition (the
-        # cached table is stale), then repopulate.
-        self.invalidate()
-        self._storage_ref = weakref.ref(weights.storage)
-        self._key = key
-        self._unique = unique
-        return unique
+        with self._lock:
+            key = self._weight_key(weights, dtype)
+            if (
+                self._unique is not None
+                and self._key == key
+                and self._storage_ref is not None
+                and self._storage_ref() is weights.storage
+            ):
+                self.stats.uniquify_hits += 1
+                return self._unique
+            self.stats.uniquify_misses += 1
+            unique = uniquify(weights._np(), dtype)
+            # Drop everything derived from the previous decomposition (the
+            # cached table is stale), then repopulate.
+            self.invalidate()
+            self._storage_ref = weakref.ref(weights.storage)
+            self._key = key
+            self._unique = unique
+            return unique
 
     # ------------------------------------------------------------------
     # Attention-table carry-over (refine -> forward assignment)
@@ -132,38 +143,41 @@ class StepCache:
         self, centroids: np.ndarray, temperature: float, table: np.ndarray
     ) -> None:
         """Remember the table for the *current* decomposition and centroids."""
-        if self._unique is None or table.shape[0] != self._unique.n_unique:
-            return
-        self._table = table
-        self._table_centroids = np.array(centroids, dtype=np.float32)
-        self._table_temperature = float(temperature)
+        with self._lock:
+            if self._unique is None or table.shape[0] != self._unique.n_unique:
+                return
+            self._table = table
+            self._table_centroids = np.array(centroids, dtype=np.float32)
+            self._table_temperature = float(temperature)
 
     def lookup_table(
         self, centroids: np.ndarray, temperature: float
     ) -> np.ndarray | None:
         """The stored table, iff centroids and temperature match exactly."""
-        if (
-            self._table is not None
-            and self._table_temperature == float(temperature)
-            and self._table_centroids is not None
-            and np.array_equal(
-                self._table_centroids,
-                np.asarray(centroids, dtype=np.float32).reshape(-1),
-            )
-        ):
-            self.stats.table_hits += 1
-            return self._table
-        self.stats.table_misses += 1
-        return None
+        with self._lock:
+            if (
+                self._table is not None
+                and self._table_temperature == float(temperature)
+                and self._table_centroids is not None
+                and np.array_equal(
+                    self._table_centroids,
+                    np.asarray(centroids, dtype=np.float32).reshape(-1),
+                )
+            ):
+                self.stats.table_hits += 1
+                return self._table
+            self.stats.table_misses += 1
+            return None
 
     def invalidate(self) -> None:
         """Drop all cached products (weights changed out from under us)."""
-        self._storage_ref = None
-        self._key = None
-        self._unique = None
-        self._table = None
-        self._table_centroids = None
-        self._table_temperature = None
+        with self._lock:
+            self._storage_ref = None
+            self._key = None
+            self._unique = None
+            self._table = None
+            self._table_centroids = None
+            self._table_temperature = None
 
 
 @dataclass

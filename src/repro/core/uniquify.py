@@ -16,6 +16,7 @@ reconstructs the dense map bit-for-bit.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,8 +67,11 @@ HISTOGRAM_MIN_SIZE = 2048
 
 # Total calls that actually computed a decomposition (cache hits in the
 # fast-path StepCache never reach this function).  Inspected by the
-# one-uniquify-per-layer-per-step tests and the fastpath benchmark.
+# one-uniquify-per-layer-per-step tests and the fastpath benchmark.  The
+# lock keeps the counter exact when the parallel compression engine
+# uniquifies several layers from pool threads at once.
 _CALL_COUNT = 0
+_CALL_COUNT_LOCK = threading.Lock()
 
 
 def uniquify_call_count() -> int:
@@ -77,7 +81,8 @@ def uniquify_call_count() -> int:
 
 def reset_uniquify_call_count() -> None:
     global _CALL_COUNT
-    _CALL_COUNT = 0
+    with _CALL_COUNT_LOCK:
+        _CALL_COUNT = 0
 
 
 def _decompose_sort(
@@ -120,7 +125,8 @@ def uniquify(
     methods return bit-identical results.
     """
     global _CALL_COUNT
-    _CALL_COUNT += 1
+    with _CALL_COUNT_LOCK:
+        _CALL_COUNT += 1
     patterns = bit_pattern16(weights, dtype).reshape(-1)
     if method == "auto":
         method = "histogram" if patterns.size >= HISTOGRAM_MIN_SIZE else "sort"

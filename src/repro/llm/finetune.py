@@ -48,7 +48,7 @@ class TrainResult:
 
 def train_causal_lm(
     model: Module,
-    batches: "Iterable[Batch]",
+    batches: Iterable[Batch],
     config: FinetuneConfig | None = None,
     pipeline: SavedTensorPipeline | None = None,
     max_steps: int | None = None,

@@ -57,6 +57,17 @@ class Storage:
     def numel(self) -> int:
         return int(self.data.size)
 
+    def bump_version(self) -> None:
+        """Record an in-place write to the buffer.
+
+        Writers (optimizer steps, ``copy_``) run on the thread that owns the
+        training loop; the parallel compression engine only *reads* weights
+        from pool workers, and a stale read of ``version`` merely causes a
+        step-cache recompute, never a wrong hit -- the cache validates the
+        full (storage, version, view) key under its own lock.
+        """
+        self.version += 1
+
     @classmethod
     def from_values(cls, values: np.ndarray, dtype: DType, device: Device) -> "Storage":
         """Allocate a storage holding ``values`` projected onto ``dtype``."""

@@ -183,12 +183,12 @@ class Tensor:
             values = values._compute()
         values = np.broadcast_to(np.asarray(values), self.shape)
         self._np()[...] = self.dtype.project(values).reshape(self.shape)
-        self.storage.version += 1
+        self.storage.bump_version()
         return self
 
     def fill_(self, value: float) -> "Tensor":
         self._np()[...] = self.dtype.project(np.asarray(value))
-        self.storage.version += 1
+        self.storage.bump_version()
         return self
 
     def zero_(self) -> "Tensor":
@@ -198,7 +198,7 @@ class Tensor:
         """In-place accumulate, used only by the autograd engine."""
         current = self._np().astype(self.dtype.np_compute)
         self._np()[...] = self.dtype.project(current + values)
-        self.storage.version += 1
+        self.storage.bump_version()
         return self
 
     # ------------------------------------------------------------------

@@ -224,8 +224,6 @@ class TestSavedTensorHooks:
         assert np.allclose(run(False), run(True), rtol=1e-6)
 
     def test_saved_tensors_released_after_backward(self):
-        import weakref
-
         x = rt.randn(16, 16, requires_grad=True)
         y = (x * x).sum()
         node = y.grad_fn

@@ -22,7 +22,6 @@ from repro.baselines import (
 )
 from repro.baselines.awq import awq_scale_search
 from repro.baselines.calibration import LayerCalibration
-from repro.data.loader import Batch
 
 
 def _weight(shape=(8, 16), seed=0, scale=0.1):
@@ -238,7 +237,6 @@ class TestLLMQAT:
     def test_qat_training_reduces_quantized_loss(self):
         rng = np.random.default_rng(0)
         layer = nn.Linear(8, 8, rng=rng)
-        qat = apply_qat(type("M", (nn.Module,), {})() or layer, bits=3) if False else None
         # Direct QAT on a single layer:
         from repro.baselines.llm_qat import QATLinear
 

@@ -4,7 +4,6 @@ Each test asserts the *qualitative* paper result at a reduced scale: the
 numbers regenerate in benchmarks/, these guard the direction of every claim.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -1,7 +1,6 @@
 """Tests for the saved-tensor offload pipeline (baseline, M, S)."""
 
 import numpy as np
-import pytest
 
 import repro.tensor as rt
 from repro.core import DKMConfig, EDKMConfig, SavedTensorPipeline

@@ -1,7 +1,6 @@
 """Tests for the synthetic data world, corpus, instructions and suites."""
 
 import numpy as np
-import pytest
 
 import repro.tensor as rt
 from repro.data import (
@@ -15,7 +14,6 @@ from repro.data import (
 )
 from repro.data.corpus import corpus_vocabulary, render_fact, _FAMILY_WEIGHTS
 from repro.data.tasks import ClozeItem, MultipleChoiceItem
-from repro.llm import WordTokenizer
 from repro.nn.loss import IGNORE_INDEX
 
 
@@ -216,7 +214,6 @@ class TestLoader:
         examples = generate_alpaca(world, 4, seed=3)
         batch = next(iter(alpaca_batches(examples, tokenizer, 4, rt.CPU, seed=4)))
         targets = batch.targets.numpy()
-        tokens = batch.tokens.numpy()
         for i, example in enumerate(batch.tokens.numpy()):
             # Some prefix must be masked and some suffix must be scored.
             row = targets[i]

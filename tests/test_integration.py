@@ -1,7 +1,6 @@
 """End-to-end integration tests across subsystem boundaries."""
 
 import numpy as np
-import pytest
 
 import repro.tensor as rt
 from repro.baselines import quantize_model_rtn

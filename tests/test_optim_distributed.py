@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 import repro.tensor as rt
-import repro.nn as nn
 from repro.distributed import (
     LearnerGroup,
     all_gather,

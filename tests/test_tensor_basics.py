@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro.tensor as rt
-from repro.tensor.tensor import Tensor, contiguous_strides
+from repro.tensor.tensor import contiguous_strides
 
 
 class TestConstruction:
