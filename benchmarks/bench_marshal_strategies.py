@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Marshal search-strategy benchmark entry point.
+
+Runs one deterministic transformer forward+backward under the saved-tensor
+pipeline for each marshal ``search_strategy`` -- ``graph`` (paper),
+``storage-id`` (oracle), ``fingerprint`` (sampled-stride content hash) --
+plus the ``fingerprint+content`` variant that dedups verified
+byte-identical storages, and writes hit rate, probe cost, and wall time to
+``benchmarks/results/BENCH_marshal.json``.
+
+Hard assertions (non-zero exit on failure):
+
+- ``fingerprint`` dedups the *identical* set of storages as ``storage-id``
+  (pack-order event streams compared element-wise);
+- per-strategy counters reconcile:
+  ``copies_made + copies_avoided == tensors_packed == hits + misses``;
+- the content variant never dedups less than the oracle.
+
+Kept out of the tier-1 pytest run (timing does not belong in the
+correctness suite); run it as a single command:
+
+    PYTHONPATH=src python benchmarks/bench_marshal_strategies.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.marshal_strategies import run_marshal_strategies  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_marshal.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (min is reported)"
+    )
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--seq-len", type=int, default=16)
+    parser.add_argument("--hop-budget", type=int, default=4)
+    parser.add_argument("--fingerprint-max-samples", type=int, default=64)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration: overrides --dim/--seq-len/--repeats "
+        "with a smaller model and a single repeat (the effective values "
+        "are recorded in the JSON payload)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        dim, hidden_dim, seq_len, repeats = 32, 64, 8, 1
+    else:
+        dim, hidden_dim, seq_len, repeats = args.dim, 128, args.seq_len, args.repeats
+    effective = {
+        "dim": dim,
+        "hidden_dim": hidden_dim,
+        "n_layers": args.layers,
+        "seq_len": seq_len,
+        "repeats": repeats,
+        "hop_budget": args.hop_budget,
+        "fingerprint_max_samples": args.fingerprint_max_samples,
+    }
+    result = run_marshal_strategies(
+        dim=dim,
+        n_layers=args.layers,
+        hidden_dim=hidden_dim,
+        seq_len=seq_len,
+        hop_budget=args.hop_budget,
+        fingerprint_max_samples=args.fingerprint_max_samples,
+        repeats=repeats,
+        seed=args.seed,
+    )
+
+    failures: list[str] = []
+    rows = {row.strategy: row for row in result.rows}
+    for row in result.rows:
+        print(
+            f"{row.strategy:<20} packed {row.tensors_packed:>4}  "
+            f"hit-rate {row.hit_rate:.3f}  probe-cost {row.probe_cost:8.1f}  "
+            f"wall {row.wall_seconds:.4f}s  reconcile={row.counters_reconcile}"
+        )
+        if not row.counters_reconcile:
+            failures.append(
+                f"{row.strategy}: copies_made + copies_avoided != tensors_packed "
+                "or per-strategy hit/miss counters do not reconcile"
+            )
+    if not result.fingerprint_matches_oracle:
+        failures.append(
+            "fingerprint deduped a different set of storages than storage-id "
+            "(pack-order event streams differ)"
+        )
+    oracle, content = rows.get("storage-id"), rows.get("fingerprint+content")
+    if oracle and content and content.copies_avoided < oracle.copies_avoided:
+        failures.append(
+            "fingerprint+content deduped less than the storage-id oracle"
+        )
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload = result.to_json_dict()
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["config"] = effective
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all marshal-strategy assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ pytest-benchmark entry points and prints paper-style tables.
 - :mod:`repro.bench.claims` -- Section 1/2 analytic size claims
 - :mod:`repro.bench.fastpath` -- fast-path engine micro-benchmark
   (histogram uniquify, bincount scatter, per-layer step cache)
+- :mod:`repro.bench.marshal_strategies` -- marshal search-strategy
+  ablation (graph walk vs storage-id oracle vs sampled-stride fingerprint)
 """
 
 from repro.bench.claims import Claim, run_claims
@@ -23,6 +25,11 @@ from repro.bench.fastpath import (
     run_fastpath,
 )
 from repro.bench.fig2 import Fig2Result, run_fig2, run_hop_budget_sweep
+from repro.bench.marshal_strategies import (
+    MarshalBenchResult,
+    StrategyRow,
+    run_marshal_strategies,
+)
 from repro.bench.fig3 import Fig3Result, run_dtype_sweep, run_fig3
 from repro.bench.table1 import PAPER_TABLE1, Table1Row, run_table1
 from repro.bench.table2 import (
@@ -54,6 +61,9 @@ __all__ = [
     "Fig2Result",
     "run_fig2",
     "run_hop_budget_sweep",
+    "MarshalBenchResult",
+    "StrategyRow",
+    "run_marshal_strategies",
     "Fig3Result",
     "run_dtype_sweep",
     "run_fig3",

@@ -1,0 +1,221 @@
+"""Marshal search-strategy ablation: graph walk vs storage-id vs fingerprint.
+
+The paper's Section 2.1 dismisses content hashing as prohibitively
+expensive and walks the forward graph instead.  This benchmark tests that
+assumption: a transformer forward+backward runs under the saved-tensor
+pipeline once per ``search_strategy`` (``graph``, ``storage-id``,
+``fingerprint``), on identical weights and inputs, and we record per
+strategy:
+
+- **hit rate** -- ``copies_avoided / tensors_packed``;
+- **probe cost** -- the strategy's own currency: frontier nodes dequeued
+  per graph walk, bytes hashed (+ collision-compare bytes) per fingerprint
+  probe, zero for the identity oracle;
+- **wall time** -- min-of-``repeats`` seconds for the full step.
+
+A fourth row, ``fingerprint+content``, runs the fingerprint strategy with
+``fingerprint_dedup_content=True``: verified byte-identical storages (e.g.
+the ones-initialized norm scales every layer shares) may then share one
+host copy, so its hit rate is the content-hashing *headroom* over the
+storage-identity oracle.
+
+Correctness cross-check: the pipeline's pack-order event stream
+(``record_events=True``) must be identical between ``fingerprint`` and
+``storage-id`` -- same workload, same pack order, so equal event streams
+mean the two strategies deduped the identical set of storages.  The
+per-strategy counters must also reconcile:
+``copies_made + copies_avoided == tensors_packed == hits + misses``.
+
+``benchmarks/bench_marshal_strategies.py`` wraps :func:`run_marshal_strategies`
+into a command-line entry point that writes ``BENCH_marshal.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core.config import SEARCH_STRATEGIES, EDKMConfig
+from repro.core.offload import SavedTensorPipeline
+from repro.tensor.device import GPU
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class StrategyRow:
+    """One strategy's stats over the common transformer workload."""
+
+    strategy: str
+    wall_seconds: float
+    tensors_packed: int
+    copies_made: int
+    copies_avoided: int
+    bytes_copied: int
+    bytes_avoided: int
+    graph_nodes_visited: int
+    fingerprint_bytes_hashed: int
+    fingerprint_bytes_compared: int
+    fingerprint_collisions: int
+    counters_reconcile: bool
+
+    @property
+    def hit_rate(self) -> float:
+        return self.copies_avoided / max(self.tensors_packed, 1)
+
+    @property
+    def probe_cost(self) -> float:
+        """Strategy-native work per probe (nodes walked or bytes hashed)."""
+        probes = max(self.tensors_packed, 1)
+        if self.strategy == "graph":
+            return self.graph_nodes_visited / probes
+        if self.strategy.startswith("fingerprint"):
+            return (
+                self.fingerprint_bytes_hashed + self.fingerprint_bytes_compared
+            ) / probes
+        return 0.0
+
+
+@dataclass
+class MarshalBenchResult:
+    rows: list[StrategyRow] = field(default_factory=list)
+    fingerprint_matches_oracle: bool = False
+    all_reconcile: bool = False
+
+    def to_json_dict(self) -> dict:
+        rows = []
+        for row in self.rows:
+            d = asdict(row)
+            d["hit_rate"] = row.hit_rate
+            d["probe_cost"] = row.probe_cost
+            rows.append(d)
+        return {
+            "benchmark": "marshal_strategies",
+            "strategies": rows,
+            "fingerprint_matches_oracle": self.fingerprint_matches_oracle,
+            "all_reconcile": self.all_reconcile,
+        }
+
+
+def _build_workload(
+    vocab_size: int,
+    dim: int,
+    n_layers: int,
+    n_heads: int,
+    hidden_dim: int,
+    seq_len: int,
+    batch: int,
+    seed: int,
+) -> tuple[nn.Transformer, Tensor]:
+    model = nn.Transformer(
+        vocab_size=vocab_size,
+        dim=dim,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        hidden_dim=hidden_dim,
+        max_seq_len=seq_len,
+        seed=seed,
+    )
+    model.to(GPU)
+    rng = np.random.default_rng(seed)
+    tokens = Tensor.from_numpy(
+        rng.integers(0, vocab_size, size=(batch, seq_len)).astype(np.int64),
+        device=GPU,
+    )
+    return model, tokens
+
+
+def _run_strategy(
+    label: str,
+    strategy: str,
+    dedup_content: bool,
+    model: nn.Transformer,
+    tokens: Tensor,
+    hop_budget: int,
+    fingerprint_max_samples: int,
+    repeats: int,
+) -> tuple[StrategyRow, list[tuple[int, bool]]]:
+    """Time ``repeats`` steps; stats and events come from the last one."""
+    best = float("inf")
+    pipeline = None
+    for _ in range(max(1, repeats)):
+        pipeline = SavedTensorPipeline(
+            EDKMConfig(
+                marshal=True,
+                uniquify=False,
+                shard=False,
+                group=None,
+                hop_budget=hop_budget,
+                search_strategy=strategy,
+                fingerprint_max_samples=fingerprint_max_samples,
+                fingerprint_dedup_content=dedup_content,
+            ),
+            record_events=True,
+        )
+        t0 = time.perf_counter()
+        with pipeline.step():
+            logits = model(tokens)
+            (logits * logits).sum().backward()
+        best = min(best, time.perf_counter() - t0)
+    stats = pipeline.stats
+    reconcile = (
+        stats.copies_made + stats.copies_avoided == stats.tensors_packed
+        and stats.probes(strategy) == stats.tensors_packed
+        and stats.strategy_hits.get(strategy, 0) == stats.copies_avoided
+    )
+    row = StrategyRow(
+        strategy=label,
+        wall_seconds=best,
+        tensors_packed=stats.tensors_packed,
+        copies_made=stats.copies_made,
+        copies_avoided=stats.copies_avoided,
+        bytes_copied=stats.bytes_copied,
+        bytes_avoided=stats.bytes_avoided,
+        graph_nodes_visited=stats.graph_nodes_visited,
+        fingerprint_bytes_hashed=stats.fingerprint_bytes_hashed,
+        fingerprint_bytes_compared=stats.fingerprint_bytes_compared,
+        fingerprint_collisions=stats.fingerprint_collisions,
+        counters_reconcile=reconcile,
+    )
+    return row, list(pipeline.events)
+
+
+def run_marshal_strategies(
+    vocab_size: int = 128,
+    dim: int = 64,
+    n_layers: int = 2,
+    n_heads: int = 4,
+    hidden_dim: int = 128,
+    seq_len: int = 16,
+    batch: int = 2,
+    hop_budget: int = 4,
+    fingerprint_max_samples: int = 64,
+    repeats: int = 3,
+    seed: int = 0,
+) -> MarshalBenchResult:
+    """All three strategies (plus the content-dedup variant) on one step."""
+    result = MarshalBenchResult()
+    events: dict[str, list[tuple[int, bool]]] = {}
+    configurations = [(s, s, False) for s in SEARCH_STRATEGIES]
+    configurations.append(("fingerprint+content", "fingerprint", True))
+    for label, strategy, dedup_content in configurations:
+        model, tokens = _build_workload(
+            vocab_size, dim, n_layers, n_heads, hidden_dim, seq_len, batch, seed
+        )
+        row, evts = _run_strategy(
+            label,
+            strategy,
+            dedup_content,
+            model,
+            tokens,
+            hop_budget,
+            fingerprint_max_samples,
+            repeats,
+        )
+        result.rows.append(row)
+        events[label] = evts
+    result.fingerprint_matches_oracle = events["fingerprint"] == events["storage-id"]
+    result.all_reconcile = all(row.counters_reconcile for row in result.rows)
+    return result

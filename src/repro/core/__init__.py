@@ -32,7 +32,13 @@ from repro.core.dkm import (
 )
 from repro.core.edkm import EDKMClusterAssign, cluster, edkm_cluster
 from repro.core.fastpath import FastPathReport, FastPathStats, StepCache
-from repro.core.marshal import MarshalRegistry, OffloadEntry
+from repro.core.marshal import (
+    FINGERPRINT_BLOCK_BYTES,
+    MarshalRegistry,
+    OffloadEntry,
+    fingerprint_sample_offsets,
+    fingerprint_storage,
+)
 from repro.core.offload import SavedPayload, SavedTensorPipeline
 from repro.core.palettize import (
     PalettizedTensor,
@@ -74,8 +80,11 @@ __all__ = [
     "FastPathReport",
     "FastPathStats",
     "StepCache",
+    "FINGERPRINT_BLOCK_BYTES",
     "MarshalRegistry",
     "OffloadEntry",
+    "fingerprint_sample_offsets",
+    "fingerprint_storage",
     "SavedPayload",
     "SavedTensorPipeline",
     "PalettizedTensor",

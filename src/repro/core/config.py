@@ -92,6 +92,16 @@ class CompressorConfig:
         return max(1, min(workers, n_tasks))
 
 
+SEARCH_STRATEGIES = ("graph", "storage-id", "fingerprint")
+"""Marshal lookup strategies: the paper's hop-limited forward-graph walk,
+the storage-identity oracle, and the sampled-stride content fingerprint."""
+
+DEFAULT_FINGERPRINT_MAX_SAMPLES = 64
+"""Cap on 64-byte blocks a fingerprint samples; the single source of truth
+for both ``EDKMConfig.fingerprint_max_samples`` and the bare
+``MarshalRegistry``/``fingerprint_storage`` defaults."""
+
+
 @dataclass
 class EDKMConfig:
     """The eDKM memory pipeline: which of M / U / S are enabled.
@@ -105,30 +115,57 @@ class EDKMConfig:
     - ``uniquify`` (U): compute the attention *table* over unique 16-bit
       weight values plus an index list, instead of the dense attention map.
     - ``shard`` (S): partition large offloaded tensors row-wise across the
-      learner group; reconstruction all-gathers.
+      learner group; reconstruction all-gathers.  The default (``None``)
+      resolves to "shard iff a ``group`` was provided", so ``EDKMConfig()``
+      is constructible; an *explicit* ``shard=True`` without a group is
+      still rejected.
+
+    ``search_strategy`` selects how the marshal registry locates an
+    existing host copy: ``"graph"`` (paper Section 2.1, at most
+    ``hop_budget`` hops), ``"storage-id"`` (identity oracle), or
+    ``"fingerprint"`` (sampled-stride content hash over at most
+    ``fingerprint_max_samples`` 64-byte blocks, with a full-byte-compare
+    collision backstop).  By default a fingerprint hit still requires
+    storage identity -- the digest is just a cheap index -- so under the
+    step-scoped immutability contract every strategy assumes (saved
+    storages are not written in place between save and reuse; the
+    registry is cleared between steps because weights change), the dedup
+    set matches ``storage-id`` exactly.  If a storage *is* mutated
+    mid-step, the fingerprint conservatively misses where the oracle
+    would serve a stale snapshot.  ``fingerprint_dedup_content=True``
+    additionally lets *verified byte-identical* storages share one host
+    copy (never an unverified digest match).
     """
 
     offload: bool = True
     marshal: bool = True
     uniquify: bool = True
-    shard: bool = True
+    shard: bool | None = None
     hop_budget: int = 4
-    search_strategy: str = "graph"  # "graph" (paper) or "storage-id" (oracle)
+    search_strategy: str = "graph"
     group: LearnerGroup | None = None
     source_device: Device = GPU
     host_device: Device = CPU
     min_offload_bytes: int = 0
     shard_min_bytes: int = 4096
+    fingerprint_max_samples: int = DEFAULT_FINGERPRINT_MAX_SAMPLES
+    fingerprint_dedup_content: bool = False
 
     def __post_init__(self) -> None:
-        if self.search_strategy not in ("graph", "storage-id"):
+        if self.search_strategy not in SEARCH_STRATEGIES:
             raise ValueError(
                 f"unknown search strategy {self.search_strategy!r}; "
-                "expected 'graph' or 'storage-id'"
+                f"expected one of {SEARCH_STRATEGIES}"
             )
         if self.hop_budget < 0:
             raise ValueError("hop_budget must be >= 0")
-        if self.shard and self.group is None:
+        if self.fingerprint_max_samples < 1:
+            raise ValueError("fingerprint_max_samples must be >= 1")
+        if self.shard is None:
+            # Auto mode: sharding needs a learner group, so default to
+            # whatever the presence of one implies.
+            self.shard = self.group is not None
+        elif self.shard and self.group is None:
             raise ValueError("sharding requires a LearnerGroup")
 
     @classmethod
@@ -139,7 +176,17 @@ class EDKMConfig:
 
 @dataclass
 class PipelineStats:
-    """Counters accumulated by the offload pipeline across a step."""
+    """Counters accumulated by the offload pipeline across a step.
+
+    Besides the copy/shard byte accounting, the registry threads
+    per-strategy *probe cost* through here: every ``MarshalRegistry.find``
+    records a hit or miss under its strategy name, the graph walk counts
+    frontier nodes it dequeues, and the fingerprint index counts the bytes
+    it hashes (registration + probe) and the bytes it full-compares when a
+    digest collides.  ``copies_made + copies_avoided == tensors_packed``
+    and, per strategy, ``hits + misses == probes`` are the reconciliation
+    invariants the strategy-equivalence tests assert.
+    """
 
     tensors_packed: int = 0
     copies_made: int = 0
@@ -150,8 +197,25 @@ class PipelineStats:
     bytes_sharded_local: int = 0
     gathers: int = 0
     hops_histogram: dict[int, int] = field(default_factory=dict)
+    strategy_hits: dict[str, int] = field(default_factory=dict)
+    strategy_misses: dict[str, int] = field(default_factory=dict)
+    graph_nodes_visited: int = 0
+    fingerprint_bytes_hashed: int = 0
+    fingerprint_bytes_compared: int = 0
+    fingerprint_collisions: int = 0
 
     def record_hit(self, hops: int, nbytes: int) -> None:
         self.copies_avoided += 1
         self.bytes_avoided += nbytes
         self.hops_histogram[hops] = self.hops_histogram.get(hops, 0) + 1
+
+    def record_probe(self, strategy: str, hit: bool) -> None:
+        """Per-strategy hit/miss bookkeeping for one ``find`` call."""
+        book = self.strategy_hits if hit else self.strategy_misses
+        book[strategy] = book.get(strategy, 0) + 1
+
+    def probes(self, strategy: str) -> int:
+        """Total ``find`` calls recorded under ``strategy``."""
+        return self.strategy_hits.get(strategy, 0) + self.strategy_misses.get(
+            strategy, 0
+        )

@@ -147,7 +147,11 @@ class StepCache:
             if self._unique is None or table.shape[0] != self._unique.n_unique:
                 return
             self._table = table
-            self._table_centroids = np.array(centroids, dtype=np.float32)
+            # Flatten at store time: lookup compares against a flattened
+            # key, so a column-vector ``(k, 1)`` centroid array stored
+            # as-is would never hit and the refine->forward carry-over
+            # would be silently dead.
+            self._table_centroids = np.array(centroids, dtype=np.float32).reshape(-1)
             self._table_temperature = float(temperature)
 
     def lookup_table(

@@ -15,17 +15,91 @@ slice, ...) for at most ``hop_budget`` hops, looking for a tensor already
 registered as offloaded.  The paper found 4 hops sufficient; an oracle
 ``"storage-id"`` strategy (a dict keyed on storage identity) is provided for
 ablation.
+
+The third ``"fingerprint"`` strategy tests the paper's "prohibitively
+expensive" assumption with a *sampled-stride* content hash: instead of
+hashing all of a storage's bytes, it hashes every Nth 64-byte block, with
+the stride chosen so the sampled volume grows like ``O(sqrt(nbytes))`` and
+is hard-capped by ``fingerprint_max_samples`` blocks.  Registered entries
+are indexed in a ``fingerprint -> [entries]`` multimap (hashing is deferred
+until the first fingerprint probe, so the other strategies pay nothing for
+it); a probe hashes the incoming tensor's storage and verifies every
+candidate -- storage identity first, then a full byte compare -- so a hash
+collision can never alias two different tensors into one host copy.  All
+three strategies thread probe-cost counters through
+:class:`~repro.core.config.PipelineStats`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import weakref
 from collections import deque
 from typing import Iterator
 
-from repro.core.config import PipelineStats
+import numpy as np
+
+from repro.core.config import DEFAULT_FINGERPRINT_MAX_SAMPLES, PipelineStats
 from repro.distributed.collective import ShardedTensor
 from repro.tensor.tensor import Tensor
+
+FINGERPRINT_BLOCK_BYTES = 64
+
+
+def fingerprint_sample_offsets(
+    nbytes: int, max_samples: int = DEFAULT_FINGERPRINT_MAX_SAMPLES
+) -> list[int]:
+    """Byte offsets of the 64-byte blocks a fingerprint samples.
+
+    The stride is chosen so roughly ``sqrt(nbytes)`` bytes are sampled,
+    hard-capped at ``max_samples`` blocks; the final block is always
+    included so tail bytes cannot change silently (evicting the last
+    stride block when including it would exceed the cap).  Exposed
+    separately so tests can construct deterministic collisions (two
+    buffers differing only at unsampled offsets).
+    """
+    if nbytes <= 0:
+        return []
+    cap = max(1, int(max_samples))
+    n_blocks = -(-nbytes // FINGERPRINT_BLOCK_BYTES)
+    target = min(cap, max(1, math.isqrt(nbytes) // FINGERPRINT_BLOCK_BYTES + 1))
+    stride = -(-n_blocks // target)
+    blocks = list(range(0, n_blocks, stride))
+    if blocks[-1] != n_blocks - 1:
+        if len(blocks) >= cap:
+            blocks.pop()
+        blocks.append(n_blocks - 1)
+    return [b * FINGERPRINT_BLOCK_BYTES for b in blocks]
+
+
+def _storage_bytes(storage: object) -> np.ndarray:
+    """Zero-copy uint8 view of a storage's physical buffer."""
+    return np.ascontiguousarray(storage.data).view(np.uint8)
+
+
+def fingerprint_storage(
+    storage: object, max_samples: int = DEFAULT_FINGERPRINT_MAX_SAMPLES
+) -> tuple[int, int]:
+    """Sampled-stride content hash of ``storage``: ``(digest, bytes_hashed)``.
+
+    The digest covers the sampled blocks plus the byte length and the
+    storage dtype, so two storages of different sizes -- or byte-identical
+    buffers holding different dtypes (a float32 ``1.0`` is bit-identical
+    to an int32 ``1065353216``) -- never share a fingerprint.
+    ``bytes_hashed`` is the probe-cost figure threaded into
+    ``PipelineStats``.
+    """
+    raw = _storage_bytes(storage)
+    digest = hashlib.blake2b(digest_size=8)
+    hashed = 0
+    for offset in fingerprint_sample_offsets(raw.size, max_samples):
+        block = raw[offset : offset + FINGERPRINT_BLOCK_BYTES]
+        digest.update(block.tobytes())
+        hashed += int(block.size)
+    digest.update(raw.size.to_bytes(8, "little"))
+    digest.update(storage.dtype.name.encode())
+    return int.from_bytes(digest.digest(), "little"), hashed
 
 
 class OffloadEntry:
@@ -76,23 +150,62 @@ class MarshalRegistry:
     """Tracks which tensors' storages already have host copies.
 
     Registration is keyed on tensor object identity (validated through a
-    weak reference); lookup is by graph walk or by storage identity.  A
-    registry instance scopes one forward/backward step.
+    weak reference); lookup is by graph walk, by storage identity, or by
+    content fingerprint.  A registry instance scopes one forward/backward
+    step.
+
+    The tensor-id and storage-id tables cross-reference each other's key,
+    so a stale id detected on either side (the CPython allocator reuses
+    addresses after garbage collection) evicts *both* slots -- a one-sided
+    eviction would leave a dead counterpart that a recycled id could later
+    resolve to the wrong entry.  The fingerprint multimap is populated
+    lazily: ``register`` only queues the storage, and the first fingerprint
+    probe drains the queue, so graph/storage-id runs never pay for hashing.
     """
 
-    def __init__(self) -> None:
-        self._by_tensor_id: dict[int, tuple[weakref.ReferenceType, OffloadEntry]] = {}
-        self._by_storage_id: dict[int, tuple[weakref.ReferenceType, OffloadEntry]] = {}
+    def __init__(
+        self,
+        fingerprint_max_samples: int = DEFAULT_FINGERPRINT_MAX_SAMPLES,
+        fingerprint_dedup_content: bool = False,
+    ) -> None:
+        self.fingerprint_max_samples = fingerprint_max_samples
+        self.fingerprint_dedup_content = fingerprint_dedup_content
+        # id(tensor) -> (tensor weakref, entry, id(storage))
+        self._by_tensor_id: dict[
+            int, tuple[weakref.ReferenceType, OffloadEntry, int]
+        ] = {}
+        # id(storage) -> (storage weakref, entry, id(tensor))
+        self._by_storage_id: dict[
+            int, tuple[weakref.ReferenceType, OffloadEntry, int]
+        ] = {}
+        # digest -> [(storage weakref, entry, version-at-register), ...]
+        # (digest collisions share a slot)
+        self._by_fingerprint: dict[
+            int, list[tuple[weakref.ReferenceType, OffloadEntry, int]]
+        ] = {}
+        self._fingerprint_pending: list[
+            tuple[weakref.ReferenceType, OffloadEntry, int]
+        ] = []
+        # id(storage) -> (storage weakref, version, digest): one hash per
+        # storage version -- the miss-probe that precedes every
+        # registration already computed the digest the drain needs.
+        self._digest_memo: dict[int, tuple[weakref.ReferenceType, int, int]] = {}
 
     def register(self, tensor: Tensor, entry: OffloadEntry) -> None:
         ref = weakref.ref(tensor)
-        self._by_tensor_id[id(tensor)] = (ref, entry)
         storage_ref = weakref.ref(tensor.storage)
-        self._by_storage_id[id(tensor.storage)] = (storage_ref, entry)
+        self._by_tensor_id[id(tensor)] = (ref, entry, id(tensor.storage))
+        self._by_storage_id[id(tensor.storage)] = (storage_ref, entry, id(tensor))
+        self._fingerprint_pending.append(
+            (storage_ref, entry, tensor.storage.version)
+        )
 
     def clear(self) -> None:
         self._by_tensor_id.clear()
         self._by_storage_id.clear()
+        self._by_fingerprint.clear()
+        self._fingerprint_pending.clear()
+        self._digest_memo.clear()
 
     def __len__(self) -> int:
         return len(self._by_tensor_id)
@@ -112,13 +225,41 @@ class MarshalRegistry:
 
         Returns ``(entry, hops, op_trace)`` where ``op_trace`` names the
         storage-invariant ops connecting the found tensor back to the new
-        one (the "required ops for future retrieval" of Fig. 2b).
+        one (the "required ops for future retrieval" of Fig. 2b).  When
+        ``stats`` is given, the probe's cost and hit/miss outcome are
+        recorded under the strategy's name.
         """
         if strategy == "storage-id":
-            return self._find_by_storage(tensor)
-        if strategy == "graph":
-            return self._find_by_graph(tensor, hop_budget)
-        raise ValueError(f"unknown search strategy {strategy!r}")
+            result = self._find_by_storage(tensor)
+        elif strategy == "graph":
+            result = self._find_by_graph(tensor, hop_budget, stats)
+        elif strategy == "fingerprint":
+            result = self._find_by_fingerprint(tensor, stats)
+        else:
+            raise ValueError(f"unknown search strategy {strategy!r}")
+        if stats is not None:
+            stats.record_probe(strategy, hit=result[0] is not None)
+        return result
+
+    # -- eviction (both sides, see class docstring) ---------------------
+
+    def _evict_tensor_key(self, tensor_key: int) -> None:
+        stale = self._by_tensor_id.pop(tensor_key, None)
+        if stale is None:
+            return
+        _, entry, storage_key = stale
+        counterpart = self._by_storage_id.get(storage_key)
+        if counterpart is not None and counterpart[1] is entry:
+            del self._by_storage_id[storage_key]
+
+    def _evict_storage_key(self, storage_key: int) -> None:
+        stale = self._by_storage_id.pop(storage_key, None)
+        if stale is None:
+            return
+        _, entry, tensor_key = stale
+        counterpart = self._by_tensor_id.get(tensor_key)
+        if counterpart is not None and counterpart[1] is entry:
+            del self._by_tensor_id[tensor_key]
 
     def _find_by_storage(
         self, tensor: Tensor
@@ -126,15 +267,129 @@ class MarshalRegistry:
         hit = self._by_storage_id.get(id(tensor.storage))
         if hit is None:
             return (None, 0, [])
-        storage_ref, entry = hit
+        storage_ref, entry, _ = hit
         if storage_ref() is not tensor.storage:
             # Stale id reuse after garbage collection.
-            del self._by_storage_id[id(tensor.storage)]
+            self._evict_storage_key(id(tensor.storage))
             return (None, 0, [])
         return (entry, 0, [])
 
+    # -- fingerprint ----------------------------------------------------
+
+    def _fingerprint_digest(self, storage: object, stats: PipelineStats | None) -> int:
+        """The storage's digest, hashed at most once per storage version."""
+        memo = self._digest_memo.get(id(storage))
+        if memo is not None:
+            memo_ref, memo_version, memo_digest = memo
+            if memo_ref() is storage and memo_version == storage.version:
+                return memo_digest
+        digest, hashed = fingerprint_storage(storage, self.fingerprint_max_samples)
+        if stats is not None:
+            stats.fingerprint_bytes_hashed += hashed
+        self._digest_memo[id(storage)] = (
+            weakref.ref(storage),
+            storage.version,
+            digest,
+        )
+        return digest
+
+    def _drain_fingerprint_pending(self, stats: PipelineStats | None) -> None:
+        if not self._fingerprint_pending:
+            return
+        pending, self._fingerprint_pending = self._fingerprint_pending, []
+        for storage_ref, entry, version in pending:
+            storage = storage_ref()
+            # Skip storages written in place since registration: the entry's
+            # host snapshot holds the pre-write bytes, so indexing the
+            # *current* bytes would let a later identity probe serve the
+            # stale snapshot.  Dropping the entry makes such probes miss --
+            # the conservative behavior the strategy documents.
+            if storage is None or storage.version != version:
+                continue
+            digest = self._fingerprint_digest(storage, stats)
+            self._by_fingerprint.setdefault(digest, []).append(
+                (storage_ref, entry, version)
+            )
+
+    def _find_by_fingerprint(
+        self, tensor: Tensor, stats: PipelineStats | None = None
+    ) -> tuple[OffloadEntry | None, int, list[str]]:
+        """Probe the content index; verify candidates before trusting them.
+
+        Storage identity is checked first (free); a digest match alone is
+        never trusted.  With ``fingerprint_dedup_content`` enabled,
+        non-identity candidates are confirmed with a full byte compare --
+        the collision backstop that keeps a 64-bit (and deliberately
+        *partial*) hash from aliasing two different tensors into one host
+        copy -- and a *verified* byte-identical storage may then share the
+        host copy (safe: the host snapshot is immutable for the step and
+        unpack rebuilds views from payload metadata only).  With it
+        disabled (the default) a hit requires the identical storage, so
+        the dedup set matches the ``storage-id`` oracle exactly for
+        storages left unmutated within the step, and colliding digests
+        simply miss.  (A storage written in place after registration gets
+        a new digest, so the fingerprint conservatively misses where the
+        oracle would serve its stale pre-write snapshot.)
+
+        A content hit additionally requires the candidate storage's
+        version counter to still equal its value at registration: unpack
+        serves the host snapshot taken *then*, so if the source storage
+        was mutated in place afterwards, its current bytes no longer
+        vouch for the snapshot and the candidate is skipped.  (Identity
+        hits keep the step-scoped immutability contract every strategy
+        shares -- the registry is cleared between steps precisely because
+        weights change.)
+        """
+        self._drain_fingerprint_pending(stats)
+        target = tensor.storage
+        digest = self._fingerprint_digest(target, stats)
+        bucket = self._by_fingerprint.get(digest)
+        if not bucket:
+            return (None, 0, [])
+        live = [item for item in bucket if item[0]() is not None]
+        if len(live) != len(bucket):
+            if live:
+                self._by_fingerprint[digest] = live
+            else:
+                del self._by_fingerprint[digest]
+                return (None, 0, [])
+        for storage_ref, entry, version in live:
+            if storage_ref() is target:
+                # A write at an *unsampled* offset leaves the digest
+                # unchanged, so the version check is what keeps the
+                # conservative-miss guarantee deterministic rather than
+                # dependent on which byte was written.
+                if target.version != version:
+                    continue
+                return (entry, 0, [])
+        if not self.fingerprint_dedup_content:
+            return (None, 0, [])
+        target_raw = _storage_bytes(target)
+        for storage_ref, entry, version in live:
+            candidate = storage_ref()
+            # The dtype check is belt-and-braces (the digest already keys
+            # on dtype): equal bytes under different dtypes are different
+            # tensors, and unpack would reinterpret the host copy's buffer.
+            if (
+                candidate is None
+                or candidate.version != version
+                or candidate.nbytes != target.nbytes
+                or candidate.dtype.name != target.dtype.name
+            ):
+                continue
+            if stats is not None:
+                # Physical buffer bytes, matching what np.array_equal walks
+                # (a bf16 storage's float32 buffer is 2x its logical nbytes)
+                # and the unit fingerprint_bytes_hashed counts in.
+                stats.fingerprint_bytes_compared += int(target_raw.size)
+            if np.array_equal(_storage_bytes(candidate), target_raw):
+                return (entry, 0, ["content-equal"])
+            if stats is not None:
+                stats.fingerprint_collisions += 1
+        return (None, 0, [])
+
     def _find_by_graph(
-        self, tensor: Tensor, hop_budget: int
+        self, tensor: Tensor, hop_budget: int, stats: PipelineStats | None = None
     ) -> tuple[OffloadEntry | None, int, list[str]]:
         """BFS over the forward graph through storage-invariant ops.
 
@@ -151,6 +406,8 @@ class MarshalRegistry:
         frontier: deque[tuple[object, int, list[str]]] = deque([(tensor, 0, [])])
         while frontier:
             current, hops, trace = frontier.popleft()
+            if stats is not None:
+                stats.graph_nodes_visited += 1
             if isinstance(current, Tensor):
                 entry = self._lookup_tensor(current)
                 if entry is not None and current.storage is tensor.storage:
@@ -185,9 +442,9 @@ class MarshalRegistry:
         hit = self._by_tensor_id.get(id(tensor))
         if hit is None:
             return None
-        ref, entry = hit
+        ref, entry, _ = hit
         if ref() is not tensor:
-            del self._by_tensor_id[id(tensor)]
+            self._evict_tensor_key(id(tensor))
             return None
         return entry
 

@@ -56,12 +56,23 @@ class SavedTensorPipeline:
     ``stats`` accumulates across steps; the marshaling registry is scoped to
     a single step (weights change between steps, so stale copies must not be
     reused).
+
+    With ``record_events=True`` every packed tensor appends
+    ``(nbytes, hit)`` to :attr:`events`, in pack order.  Two strategies
+    dedup the identical set of storages on a deterministic workload iff
+    their event sequences are equal -- the comparison the
+    strategy-equivalence suite and ``bench_marshal_strategies`` run on.
     """
 
-    def __init__(self, config: EDKMConfig) -> None:
+    def __init__(self, config: EDKMConfig, record_events: bool = False) -> None:
         self.config = config
         self.stats = PipelineStats()
-        self.registry = MarshalRegistry()
+        self.registry = MarshalRegistry(
+            fingerprint_max_samples=config.fingerprint_max_samples,
+            fingerprint_dedup_content=config.fingerprint_dedup_content,
+        )
+        self.record_events = record_events
+        self.events: list[tuple[int, bool]] = []
 
     @contextlib.contextmanager
     def step(self) -> Iterator["SavedTensorPipeline"]:
@@ -96,6 +107,8 @@ class SavedTensorPipeline:
             )
             if entry is not None:
                 self.stats.record_hit(hops, tensor.storage.nbytes)
+                if self.record_events:
+                    self.events.append((tensor.storage.nbytes, True))
                 return SavedPayload(
                     entry=entry,
                     shape=metadata[0],
@@ -107,6 +120,8 @@ class SavedTensorPipeline:
         entry = self._offload(tensor)
         if cfg.marshal:
             self.registry.register(tensor, entry)
+        if self.record_events:
+            self.events.append((tensor.storage.nbytes, False))
         return SavedPayload(
             entry=entry,
             shape=metadata[0],

@@ -350,6 +350,22 @@ class TestStepCache:
         cache.uniquify(w, bfloat16)  # miss drops the stale table
         assert cache.lookup_table(c, 0.01) is None
 
+    def test_column_vector_centroids_hit(self):
+        """Regression: ``store_table`` used to keep centroids in their
+        original shape while ``lookup_table`` compared against a flattened
+        key, so ``(k, 1)`` column-vector centroids never hit and the
+        refine->forward table carry-over was silently dead."""
+        cache = StepCache()
+        w = self._weights()
+        unique = cache.uniquify(w, bfloat16)
+        c_flat = np.linspace(-1, 1, 8).astype(np.float32)
+        c_column = c_flat.reshape(-1, 1)
+        table = np.full((unique.n_unique, 8), 0.125, dtype=np.float32)
+        cache.store_table(c_column, 0.01, table)
+        assert cache.lookup_table(c_column, 0.01) is table
+        assert cache.lookup_table(c_flat, 0.01) is table  # shape-agnostic
+        assert cache.stats.table_hits == 2
+
     def test_refine_and_forward_share_one_uniquify(self):
         w = self._weights()
         clusterer = DKMClusterer(DKMConfig(bits=3, iters=3))

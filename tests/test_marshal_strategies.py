@@ -1,0 +1,119 @@
+"""Strategy-equivalence suite for the marshal search strategies (ISSUE 3).
+
+For the same forward graph, ``fingerprint`` must dedup the identical set of
+storages as the ``storage-id`` oracle, and every strategy's
+``PipelineStats`` counters must reconcile:
+``copies_made + copies_avoided == tensors_packed == hits + misses``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.core import EDKMConfig, SavedTensorPipeline
+from repro.core.config import SEARCH_STRATEGIES
+
+
+def _gpu_matrix(n=24, seed=0):
+    values = np.random.default_rng(seed).standard_normal((n, n)).astype(np.float32)
+    return rt.Tensor.from_numpy(values, device="gpu", requires_grad=True)
+
+
+def _pipeline(strategy, **overrides):
+    return SavedTensorPipeline(
+        EDKMConfig(
+            marshal=True,
+            uniquify=False,
+            shard=False,
+            group=None,
+            search_strategy=strategy,
+            **overrides,
+        ),
+        record_events=True,
+    )
+
+
+def _run_step(pipeline, seed=0):
+    """A forward graph with 0-hop, 1-hop, and sibling-view saved tensors."""
+    x = _gpu_matrix(seed=seed)
+    with pipeline.step():
+        v = x.view(-1)
+        w = x.transpose(0, 1)
+        loss = (x * x).sum() + (v**2.0).sum() + (w @ x).sum()
+        loss.backward()
+    return pipeline
+
+
+class TestStrategyEquivalence:
+    def test_fingerprint_dedups_same_storages_as_oracle(self):
+        oracle = _run_step(_pipeline("storage-id"))
+        fingerprint = _run_step(_pipeline("fingerprint"))
+        # Same workload -> same pack order; equal event streams mean the
+        # two strategies deduped the identical set of storages.
+        assert fingerprint.events == oracle.events
+        assert fingerprint.stats.copies_made == oracle.stats.copies_made
+        assert fingerprint.stats.copies_avoided == oracle.stats.copies_avoided
+        assert fingerprint.stats.bytes_copied == oracle.stats.bytes_copied
+
+    def test_fingerprint_has_hits_on_view_workload(self):
+        pipeline = _run_step(_pipeline("fingerprint"))
+        assert pipeline.stats.copies_avoided > 0
+
+    @pytest.mark.parametrize("strategy", SEARCH_STRATEGIES)
+    def test_counters_reconcile(self, strategy):
+        stats = _run_step(_pipeline(strategy)).stats
+        assert stats.tensors_packed > 0
+        assert stats.copies_made + stats.copies_avoided == stats.tensors_packed
+        assert stats.probes(strategy) == stats.tensors_packed
+        assert stats.strategy_hits.get(strategy, 0) == stats.copies_avoided
+        assert stats.strategy_misses.get(strategy, 0) == stats.copies_made
+
+    def test_graph_probe_cost_recorded(self):
+        stats = _run_step(_pipeline("graph")).stats
+        assert stats.graph_nodes_visited > 0
+        assert stats.fingerprint_bytes_hashed == 0
+
+    def test_fingerprint_probe_cost_recorded(self):
+        stats = _run_step(_pipeline("fingerprint")).stats
+        assert stats.fingerprint_bytes_hashed > 0
+        assert stats.graph_nodes_visited == 0
+
+    def test_gradients_identical_across_strategies(self):
+        grads = {}
+        for strategy in SEARCH_STRATEGIES:
+            x = _gpu_matrix(seed=7)
+            with _pipeline(strategy).step():
+                ((x @ x).softmax(dim=1) ** 2).sum().backward()
+            grads[strategy] = x.grad.numpy()
+        reference = grads["graph"]
+        for strategy, grad in grads.items():
+            assert np.array_equal(grad, reference), strategy
+
+    def test_content_dedup_never_below_oracle(self):
+        oracle = _run_step(_pipeline("storage-id"))
+        content = _run_step(
+            _pipeline("fingerprint", fingerprint_dedup_content=True)
+        )
+        assert content.stats.copies_avoided >= oracle.stats.copies_avoided
+
+
+class TestBenchDriver:
+    def test_quick_bench_asserts_hold(self):
+        from repro.bench.marshal_strategies import run_marshal_strategies
+
+        result = run_marshal_strategies(
+            dim=32, n_layers=1, hidden_dim=64, seq_len=8, repeats=1
+        )
+        assert result.fingerprint_matches_oracle
+        assert result.all_reconcile
+        rows = {row.strategy: row for row in result.rows}
+        assert set(rows) == set(SEARCH_STRATEGIES) | {"fingerprint+content"}
+        assert rows["fingerprint"].copies_made == rows["storage-id"].copies_made
+        assert (
+            rows["fingerprint+content"].copies_avoided
+            >= rows["storage-id"].copies_avoided
+        )
+        # Probe cost lands in each strategy's own currency.
+        assert rows["graph"].probe_cost > 0
+        assert rows["storage-id"].probe_cost == 0
+        assert rows["fingerprint"].probe_cost > 0
