@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Compression-backend benchmark entry point.
+
+Times a multi-layer ``precluster`` sweep through every
+``CompressorConfig.backend`` (``serial`` / ``thread`` / ``process``),
+asserts the pooled backends are bit-identical to serial (centroids,
+assignments, reconstruction errors, per-layer step-cache counters),
+isolates each backend's dispatch overhead on tiny layers, verifies every
+shared-memory block the process engine exported is unlinked after the
+run, and writes ``benchmarks/results/BENCH_backends.json``
+(schema: ``docs/benchmarks.md``).
+
+There is deliberately no wall-clock speedup gate: pool backends cannot
+beat serial without spare cores, and CI runners are noisy -- the recorded
+wall times and per-layer dispatch costs are there to read, while the
+bit-identity, counter, and shm-cleanup assertions always fail the run.
+
+    PYTHONPATH=src python benchmarks/bench_backends.py          # full
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.backends import run_backends  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_backends.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--layers", type=int, default=8)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (min is reported)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller shapes and a single repeat (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run_backends(
+            n_layers=args.layers,
+            in_features=128,
+            out_features=128,
+            workers=min(args.workers, 2),
+            repeats=1,
+            seed=args.seed,
+        )
+    else:
+        result = run_backends(
+            n_layers=args.layers,
+            workers=args.workers,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+
+    failures: list[str] = []
+    payload = result.to_json_dict()
+    for section, label in (("sweeps", "sweep"), ("dispatch", "dispatch")):
+        for row in payload[section]:
+            speedup = row["speedup"]
+            print(
+                f"{label:<9} {row['backend']:<8} "
+                f"{row['n_layers']}x{row['weights_per_layer']}w  "
+                f"{row['wall_seconds']:.4f}s"
+                + (f"  speedup {speedup:.2f}x" if speedup is not None else "")
+                + f"  bit-identical={row['bit_identical']}"
+                f"  stats-identical={row['stats_identical']}"
+            )
+            if not row["bit_identical"]:
+                failures.append(
+                    f"{label} {row['backend']}: outputs differ from serial"
+                )
+            if not row["stats_identical"]:
+                failures.append(
+                    f"{label} {row['backend']}: step-cache counters differ"
+                )
+    if not result.shm_cleaned:
+        failures.append("process backend left shared-memory blocks linked")
+    print(f"shm-cleaned={result.shm_cleaned}  cpu_count={result.cpu_count}")
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all backend assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,19 +11,32 @@ Public surface:
 - :class:`SavedTensorPipeline` -- saved-tensor offloading with cross-device
   marshaling and sharding (paper Section 2.1).
 - :class:`ModelCompressor` / :class:`ClusteredLinear` -- model-level
-  train-time compression and palettization, with a thread-pool per-layer
-  fan-out configured by :class:`CompressorConfig`.
+  train-time compression and palettization, with serial / thread-pool /
+  process-pool per-layer backends configured by :class:`CompressorConfig`
+  (the process backend ships zero-copy shared-memory weight views to its
+  workers via :class:`ProcessLayerEngine`).
 """
 
-from repro.core.config import CompressorConfig, DKMConfig, EDKMConfig, PipelineStats
+from repro.core.config import (
+    BACKENDS,
+    CompressorConfig,
+    DKMConfig,
+    EDKMConfig,
+    PipelineStats,
+)
 from repro.core.compressor import (
     ClusteredLinear,
     CompressionReport,
     LayerClusterResult,
     ModelCompressor,
+    SWEEP_OPS,
     dequantized_state,
+    palettize_op,
     parallel_layer_map,
+    precluster_op,
+    refine_op,
 )
+from repro.core.procpool import LayerOutcome, LayerTask, ProcessLayerEngine
 from repro.core.dkm import (
     ClusterState,
     DKMClusterer,
@@ -60,6 +73,7 @@ from repro.core.uniquify import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CompressorConfig",
     "DKMConfig",
     "EDKMConfig",
@@ -68,8 +82,15 @@ __all__ = [
     "CompressionReport",
     "LayerClusterResult",
     "ModelCompressor",
+    "SWEEP_OPS",
     "dequantized_state",
+    "palettize_op",
     "parallel_layer_map",
+    "precluster_op",
+    "refine_op",
+    "LayerOutcome",
+    "LayerTask",
+    "ProcessLayerEngine",
     "ClusterState",
     "DKMClusterer",
     "default_temperature",

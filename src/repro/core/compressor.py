@@ -8,20 +8,42 @@ and finalizes the fine-tuned model into palettized artifacts.
 
 Per-layer clustering is embarrassingly parallel -- each ``ClusteredLinear``
 owns its weight storage, its :class:`~repro.core.dkm.DKMClusterer`, and its
-:class:`~repro.core.fastpath.StepCache` -- so the compressor fans
-``refine``/``hard_assign``/``palettize`` sweeps out over a thread pool
-(:func:`parallel_layer_map`).  numpy releases the GIL inside the big
-uniquify/gather/softmax kernels, which is where the per-layer time goes, so
-the fan-out overlaps on multi-core hosts while staying bit-identical to the
-serial sweep: each layer is handed to exactly one worker, and results are
-collected in layer insertion order regardless of completion order.
+:class:`~repro.core.fastpath.StepCache` -- so the compressor fans its
+no-grad sweeps (``refine_all`` / ``precluster`` / ``finalize``) out over an
+execution backend selected by ``CompressorConfig.backend``:
+
+- ``"serial"`` -- the reference loop on the calling thread;
+- ``"thread"`` (default) -- a ``ThreadPoolExecutor``
+  (:func:`parallel_layer_map`): numpy releases the GIL inside the big
+  uniquify/gather/softmax kernels, so kernel time overlaps on multi-core
+  hosts, but Python-side op dispatch still serializes;
+- ``"process"`` -- a ``ProcessPoolExecutor``
+  (:class:`~repro.core.procpool.ProcessLayerEngine`): workers rebuild each
+  layer's weight as a zero-copy shared-memory view, overlapping dispatch
+  as well.
+
+**Bit-identity invariant** (established for the thread backend in the
+parallel-engine PR and extended to processes here): every backend hands
+each layer to exactly one worker, per-layer clustering is a pure function
+of (weight bytes, prior cluster state, config), and results -- centroids,
+assignments, palettized artifacts, per-layer
+:class:`~repro.core.fastpath.StepCache` counters, and the carried
+refine->forward attention table -- are merged in layer *insertion order*
+regardless of completion order.  The three backends are therefore
+interchangeable: same outputs, same stats, different wall time.
+
+**Thread-safety invariant**: pool workers only *read* layer weights; all
+writes (optimizer steps) happen on the thread/process that owns the
+training loop.  Per-layer step caches are internally locked, so even a
+mis-use that hands one layer to two workers degrades to recompute, never
+to corruption (see ``StepCache``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
 
 import numpy as np
 
@@ -33,6 +55,9 @@ from repro.core.palettize import PalettizedTensor, kmeans_palettize
 from repro.nn.linear import Embedding, Linear
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.procpool import ProcessLayerEngine
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -95,6 +120,8 @@ class ClusteredLinear(Module):
             inner.weight.dtype = dkm_config.weight_dtype
 
     def forward(self, x: Tensor) -> Tensor:
+        """``x @ clustered(W).T + b``: soft clustering while training, the
+        cached hard-palettized weight in eval mode."""
         if self.training:
             clustered = cluster(
                 self.inner.weight,
@@ -111,8 +138,11 @@ class ClusteredLinear(Module):
         return out
 
     def train(self, mode: bool = True) -> "ClusteredLinear":
-        # Weights only change while training; drop the eval cache on any
-        # mode change so eval always sees the latest clustering.
+        """Switch train/eval mode, dropping the hard-weight eval cache.
+
+        Weights only change while training, so any mode change invalidates
+        the cached palettized reconstruction eval forwards serve.
+        """
         object.__setattr__(self, "_hard_cache", None)
         super().train(mode)
         return self
@@ -140,14 +170,7 @@ class ClusteredLinear(Module):
 
     def palettize(self) -> PalettizedTensor:
         """Freeze the clustering into a deployable LUT + indices artifact."""
-        state = self.clusterer.refine(self.inner.weight)
-        assignments = self.clusterer.hard_assign(self.inner.weight)
-        return PalettizedTensor.from_assignments(
-            state.centroids,
-            assignments,
-            self.dkm_config.bits,
-            tuple(self.inner.weight.shape),
-        )
+        return palettize_op(self.clusterer, self.inner.weight, self.dkm_config.bits)
 
     def __repr__(self) -> str:
         return (
@@ -179,6 +202,61 @@ class LayerClusterResult:
     reconstruction_error: float | None = None
 
 
+# ----------------------------------------------------------------------
+# Sweep ops
+#
+# One function per engine sweep, taking only (clusterer, weights, ...).
+# Every backend executes these exact functions -- the serial loop and the
+# thread pool call them on the wrapper's own clusterer, the process
+# backend calls them inside workers on a reconstructed clusterer -- which
+# is what makes backend equivalence hold by construction rather than by
+# parallel-maintained code paths.
+# ----------------------------------------------------------------------
+
+
+def refine_op(
+    clusterer: DKMClusterer, weights: Tensor, cache_table: bool = False
+) -> ClusterState:
+    """One layer's centroid refinement (the ``refine_all`` sweep body)."""
+    return clusterer.refine(weights, cache_table=cache_table)
+
+
+def precluster_op(
+    clusterer: DKMClusterer, weights: Tensor, compute_error: bool = False
+) -> LayerClusterResult:
+    """One layer's refine + hard-assign snapshot (``precluster`` body)."""
+    state = clusterer.refine(weights, cache_table=True)
+    assignments = clusterer.hard_assign(weights)
+    error = clusterer.reconstruction_error(weights) if compute_error else None
+    return LayerClusterResult(
+        centroids=state.centroids.copy(),
+        temperature=state.temperature,
+        iterations_run=state.iterations_run,
+        assignments=np.asarray(assignments, dtype=np.int64),
+        reconstruction_error=error,
+    )
+
+
+def palettize_op(
+    clusterer: DKMClusterer, weights: Tensor, bits: int
+) -> PalettizedTensor:
+    """One layer's refine + hard-assign + LUT packing (``finalize`` body)."""
+    state = clusterer.refine(weights)
+    assignments = clusterer.hard_assign(weights)
+    return PalettizedTensor.from_assignments(
+        state.centroids, assignments, bits, tuple(weights.shape)
+    )
+
+
+SWEEP_OPS: dict[str, Callable] = {
+    "refine": refine_op,
+    "precluster": precluster_op,
+    "palettize": palettize_op,
+}
+"""Sweep-op registry, keyed by the names the process backend ships to its
+workers (:func:`repro.core.procpool._run_layer_batch` resolves them here)."""
+
+
 @dataclass
 class CompressionReport:
     """Sizes of the palettized model."""
@@ -188,11 +266,13 @@ class CompressionReport:
 
     @property
     def total_bytes(self) -> int:
+        """Palettized bytes plus everything deliberately left at 16-bit."""
         return sum(p.nbytes for p in self.palettized.values()) + sum(
             self.uncompressed.values()
         )
 
     def summary(self) -> str:
+        """A per-tensor size table (bits/weight and bytes), TOTAL last."""
         lines = [f"{'tensor':<40} {'bits/w':>8} {'bytes':>12}"]
         for name, p in sorted(self.palettized.items()):
             lines.append(f"{name:<40} {p.bits_per_weight:>8.2f} {p.nbytes:>12}")
@@ -238,13 +318,18 @@ class ModelCompressor:
                 skip_names=() if skip_names is None else skip_names,
             )
         self.wrapped: dict[str, ClusteredLinear] = {}
+        # Lazily-created process backend (pool + shm exports); None until
+        # the first sweep runs with config.backend == "process".
+        self._engine: "ProcessLayerEngine | None" = None
 
     @property
     def embedding_bits(self) -> int:
+        """Embedding palettization width (delegates to the config)."""
         return self.config.embedding_bits
 
     @property
     def skip_names(self) -> tuple[str, ...]:
+        """Module-path prefixes exempted from wrapping (from the config)."""
         return self.config.skip_names
 
     def compress(self, model: Module) -> Module:
@@ -282,6 +367,75 @@ class ModelCompressor:
             self.config.resolve_workers(len(self.wrapped)),
         )
 
+    def _process_engine(self) -> "ProcessLayerEngine":
+        """The lazily-created process backend (pool + shm export cache)."""
+        if self._engine is None:
+            from repro.core.procpool import ProcessLayerEngine
+
+            self._engine = ProcessLayerEngine(self.config)
+        return self._engine
+
+    def _sweep(self, op: str, **kwargs) -> dict[str, _R]:
+        """Run one sweep op over all layers through the configured backend.
+
+        Serial/thread backends call the :data:`SWEEP_OPS` function on each
+        wrapper's own clusterer; the process backend ships
+        :class:`~repro.core.procpool.LayerTask` batches to pool workers and
+        merges the outcomes back in layer insertion order: the worker's
+        final cluster state replaces the layer's, its
+        :class:`~repro.core.fastpath.FastPathStats` deltas fold into the
+        layer's step cache, the cache is marked *phantom-warm* for the
+        swept weight bytes, and any carried attention table is re-parked
+        -- after which the layer is indistinguishable (outputs, counters,
+        and subsequent cache behavior) from one swept serially, except
+        that the decomposition products are re-residented lazily on next
+        local use.
+        """
+        if self.config.backend != "process":
+            return self._layer_map(
+                lambda wrapper: SWEEP_OPS[op](
+                    wrapper.clusterer, wrapper.inner.weight, **kwargs
+                )
+            )
+        outcomes = self._process_engine().map_layers(
+            op,
+            [
+                (name, wrapper.clusterer, wrapper.inner.weight)
+                for name, wrapper in self.wrapped.items()
+            ],
+            **kwargs,
+        )
+        results: dict[str, _R] = {}
+        for name, wrapper in self.wrapped.items():
+            outcome = outcomes[name]
+            wrapper.clusterer.state = outcome.state
+            cache = wrapper.step_cache
+            cache.absorb(outcome.stats)
+            cache.mark_computed(
+                wrapper.inner.weight, wrapper.dkm_config.weight_dtype
+            )
+            if outcome.table is not None:
+                cache.store_table(*outcome.table)
+            results[name] = outcome.result
+        return results
+
+    def close(self) -> None:
+        """Release the process backend: shut the pool down, unlink shm.
+
+        No-op for the serial/thread backends and safe to call repeatedly;
+        a compressor is also usable again afterwards (the next process
+        sweep rebuilds pool and exports).  ``ModelCompressor`` is a
+        context manager for exactly this cleanup.
+        """
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "ModelCompressor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def refine_all(self, cache_table: bool = False) -> dict[str, ClusterState]:
         """Converge every layer's centroids; one pool task per layer.
 
@@ -290,11 +444,7 @@ class ModelCompressor:
         layers share no clustering state, so the fan-out cannot reorder any
         floating-point reduction *within* a layer.
         """
-        return self._layer_map(
-            lambda wrapper: wrapper.clusterer.refine(
-                wrapper.inner.weight, cache_table=cache_table
-            )
-        )
+        return self._sweep("refine", cache_table=cache_table)
 
     def precluster(self, compute_error: bool = False) -> dict[str, LayerClusterResult]:
         """Refine + hard-assign every layer, in parallel, snapshotting results.
@@ -304,24 +454,7 @@ class ModelCompressor:
         its nearest centroid.  Returns per-layer
         :class:`LayerClusterResult` in layer insertion order.
         """
-
-        def one(wrapper: ClusteredLinear) -> LayerClusterResult:
-            state = wrapper.clusterer.refine(wrapper.inner.weight, cache_table=True)
-            assignments = wrapper.clusterer.hard_assign(wrapper.inner.weight)
-            error = (
-                wrapper.clusterer.reconstruction_error(wrapper.inner.weight)
-                if compute_error
-                else None
-            )
-            return LayerClusterResult(
-                centroids=state.centroids.copy(),
-                temperature=state.temperature,
-                iterations_run=state.iterations_run,
-                assignments=np.asarray(assignments, dtype=np.int64),
-                reconstruction_error=error,
-            )
-
-        return self._layer_map(one)
+        return self._sweep("precluster", compute_error=compute_error)
 
     def fastpath_report(self) -> FastPathReport:
         """Aggregate per-layer step-cache hit/miss counters.
@@ -351,9 +484,7 @@ class ModelCompressor:
         stay on the calling thread.
         """
         report = CompressionReport()
-        report.palettized.update(
-            self._layer_map(lambda wrapper: wrapper.palettize())
-        )
+        report.palettized.update(self._sweep("palettize", bits=self.dkm_config.bits))
         for name, module in model.named_modules():
             if isinstance(module, Embedding):
                 report.palettized[f"{name}.weight"] = kmeans_palettize(

@@ -56,7 +56,17 @@ class DKMConfig:
 
     @property
     def n_clusters(self) -> int:
+        """Codebook size ``k = 2**bits``."""
         return 2**self.bits
+
+
+BACKENDS = ("serial", "thread", "process")
+"""Execution backends for the per-layer compression engine: a plain loop
+on the calling thread, a GIL-sharing ``ThreadPoolExecutor``, or a
+``ProcessPoolExecutor`` fed zero-copy shared-memory weight views."""
+
+MP_CONTEXTS = ("spawn", "fork", "forkserver")
+"""Accepted ``multiprocessing`` start methods for the process backend."""
 
 
 @dataclass
@@ -64,32 +74,73 @@ class CompressorConfig:
     """Model-level compression engine knobs (see ``ModelCompressor``).
 
     Attributes:
-        num_workers: thread-pool width for the per-layer fan-out of
-            ``refine``/``hard_assign``/``palettize`` across
-            ``ClusteredLinear`` instances.  ``1`` (default) runs the layers
-            serially on the calling thread; ``0`` means "one worker per
-            visible CPU".  Per-layer clustering is embarrassingly parallel
-            (each layer owns its clusterer, step cache, and weight storage)
-            and numpy releases the GIL inside the big kernels, so workers
-            overlap on multi-core hosts.  Results are returned in layer
-            insertion order regardless of completion order.
+        backend: how the per-layer ``refine``/``hard_assign``/``palettize``
+            sweeps execute.  ``"serial"`` loops on the calling thread
+            (ignoring ``num_workers``); ``"thread"`` (default) fans layers
+            out over a ``ThreadPoolExecutor`` -- numpy releases the GIL
+            inside the big kernels, so this overlaps kernel time but not
+            Python-side op dispatch; ``"process"`` fans out over a
+            ``ProcessPoolExecutor`` whose workers rebuild each layer's
+            weight as a zero-copy ``multiprocessing.shared_memory`` view,
+            overlapping dispatch as well.  All three are bit-identical:
+            per-layer clustering shares no state, every layer runs in
+            exactly one worker, and results (centroids, assignments,
+            step-cache counters, carried attention tables) merge back in
+            layer insertion order.
+        num_workers: pool width for the thread/process backends.  ``1``
+            (default) degenerates the thread backend to the serial loop;
+            ``0`` means "one worker per visible CPU".
+        mp_context: ``multiprocessing`` start method for the process
+            backend.  ``"spawn"`` (default) is safe regardless of what
+            threads the parent holds -- workers import the codebase fresh
+            and receive only picklable task specs; ``"fork"`` starts
+            faster on POSIX but inherits arbitrary parent state.
+        task_chunk: layers per pickled task batch for the process backend.
+            Batching amortizes per-task pickle + IPC overhead; ``0``
+            (default) auto-sizes to ``ceil(n_layers / workers)`` -- one
+            batch per worker, the minimum dispatch cost for uniform
+            layers.  Set small (e.g. ``1``) when layer sizes are skewed
+            and load balancing matters more than dispatch overhead.
         embedding_bits: post-training palettization width for embeddings
             (paper: "we also compressed the embedding layers with 8 bits").
         skip_names: module-path prefixes exempted from wrapping.
     """
 
+    backend: str = "thread"
     num_workers: int = 1
+    mp_context: str = "spawn"
+    task_chunk: int = 0
     embedding_bits: int = 8
     skip_names: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.mp_context not in MP_CONTEXTS:
+            raise ValueError(
+                f"unknown mp_context {self.mp_context!r}; "
+                f"expected one of {MP_CONTEXTS}"
+            )
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.task_chunk < 0:
+            raise ValueError(f"task_chunk must be >= 0, got {self.task_chunk}")
 
     def resolve_workers(self, n_tasks: int) -> int:
         """Effective pool width for ``n_tasks`` independent layers."""
+        if self.backend == "serial":
+            return 1
         workers = self.num_workers if self.num_workers > 0 else (os.cpu_count() or 1)
         return max(1, min(workers, n_tasks))
+
+    def resolve_task_chunk(self, n_tasks: int) -> int:
+        """Layers per process-backend batch (``task_chunk`` or auto)."""
+        if self.task_chunk > 0:
+            return self.task_chunk
+        workers = self.resolve_workers(n_tasks)
+        return max(1, -(-n_tasks // max(workers, 1)))
 
 
 SEARCH_STRATEGIES = ("graph", "storage-id", "fingerprint")
@@ -205,6 +256,7 @@ class PipelineStats:
     fingerprint_collisions: int = 0
 
     def record_hit(self, hops: int, nbytes: int) -> None:
+        """Count one avoided host copy found ``hops`` graph hops away."""
         self.copies_avoided += 1
         self.bytes_avoided += nbytes
         self.hops_histogram[hops] = self.hops_histogram.get(hops, 0) + 1

@@ -48,6 +48,13 @@ class EDKMClusterAssign(Function):
         reconstruct: bool = True,
         cache: StepCache | None = None,
     ) -> Tensor:
+        """Reconstruct weights as attention-weighted centroid mixtures.
+
+        Computes in unique-value space (table ``(u, k)`` + index list)
+        and saves only those factors for backward -- the U of the paper's
+        M/U/S ablation.  With a :class:`StepCache`, the decomposition and
+        the refine-parked attention table are reused instead of rebuilt.
+        """
         from repro.tensor.ops._common import check_same_device, make_result
 
         check_same_device(weights, centroids)
@@ -91,6 +98,13 @@ class EDKMClusterAssign(Function):
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray) -> Sequence[np.ndarray | None]:
+        """Exact dense-equivalent grads from the saved unique-space factors.
+
+        The paper's backward step: gather the dense attention rows back
+        through the index list (conceptually), implemented as bincount
+        segment reductions over unique rows so no ``O(|W|·|C|)`` buffer is
+        ever materialized.
+        """
         table_t, index_t, patterns_t, centroids_t = ctx.saved_tensors
         table = table_t._compute()  # (u, k)
         index_list = index_t._np().astype(np.int64)  # (N,) -- all-gathered by unpack

@@ -20,6 +20,22 @@ Each :class:`~repro.core.dkm.DKMClusterer` owns one cache, so multi-layer
 models amortize per layer independently; :class:`repro.core.compressor.
 ModelCompressor` aggregates the per-layer hit counters for reporting.
 
+**Process-pool semantics.**  When the compression engine fans a sweep out
+over *processes*, a worker computes the decomposition in its own address
+space and only small results plus :class:`FastPathStats` deltas are
+pickled back (shipping the ``O(|W|)`` index list home would cost more
+than it saves).  The parent cache then holds a *phantom* entry
+(:meth:`StepCache.mark_computed`): the (storage, version, view) key is
+known-computed, but the products are not resident.  Counters track
+*logical* cache validity -- a ``uniquify`` call against a matching
+phantom key records a **hit** (the decomposition for those exact bytes
+was already computed somewhere this step) while transparently recomputing
+and re-residenting the products locally.  This keeps the per-layer
+hit/miss counters bit-identical across ``serial``/``thread``/``process``
+backends for any sequence of sweeps; the physical recompute count is
+still observable via :func:`repro.core.uniquify.uniquify_call_count`,
+which only ever counts computations in the calling process.
+
 Footprint: between steps the cache retains the layer's
 :class:`~repro.core.uniquify.UniquifiedWeights` -- dominated by the
 ``O(|W|)`` uint16 index list, i.e. roughly the byte size of the bf16
@@ -57,6 +73,7 @@ class FastPathStats:
     table_misses: int = 0
 
     def merge(self, other: "FastPathStats") -> "FastPathStats":
+        """A new counter object holding the element-wise sum."""
         return FastPathStats(
             uniquify_hits=self.uniquify_hits + other.uniquify_hits,
             uniquify_misses=self.uniquify_misses + other.uniquify_misses,
@@ -113,17 +130,32 @@ class StepCache:
             weights.offset,
         )
 
+    def _key_matches(self, weights: "Tensor", dtype: DType) -> bool:
+        """Whether the live entry (resident *or* phantom) covers ``weights``."""
+        return (
+            self._key == self._weight_key(weights, dtype)
+            and self._storage_ref is not None
+            and self._storage_ref() is weights.storage
+        )
+
     def uniquify(self, weights: "Tensor", dtype: DType) -> UniquifiedWeights:
-        """The decomposition of ``weights``, computed at most once per version."""
+        """The decomposition of ``weights``, computed at most once per version.
+
+        Against a matching *phantom* entry (see :meth:`mark_computed`) this
+        records a hit -- the decomposition of these exact bytes was already
+        computed, just not in this process -- and recomputes the products
+        locally, promoting the entry to resident so subsequent calls are
+        ordinary hits.
+        """
         with self._lock:
-            key = self._weight_key(weights, dtype)
-            if (
-                self._unique is not None
-                and self._key == key
-                and self._storage_ref is not None
-                and self._storage_ref() is weights.storage
-            ):
+            matches = self._key_matches(weights, dtype)
+            if matches and self._unique is not None:
                 self.stats.uniquify_hits += 1
+                return self._unique
+            if matches:
+                # Phantom hit: logically warm, physically absent.
+                self.stats.uniquify_hits += 1
+                self._unique = uniquify(weights._np(), dtype)
                 return self._unique
             self.stats.uniquify_misses += 1
             unique = uniquify(weights._np(), dtype)
@@ -131,9 +163,37 @@ class StepCache:
             # cached table is stale), then repopulate.
             self.invalidate()
             self._storage_ref = weakref.ref(weights.storage)
-            self._key = key
+            self._key = self._weight_key(weights, dtype)
             self._unique = unique
             return unique
+
+    def is_warm(self, weights: "Tensor", dtype: DType) -> bool:
+        """Whether a ``uniquify`` for ``weights`` would be a (possibly
+        phantom) hit -- the token the process backend ships to workers so
+        their fresh caches count the sweep exactly as the serial engine
+        would."""
+        with self._lock:
+            return self._key_matches(weights, dtype)
+
+    def mark_computed(self, weights: "Tensor", dtype: DType) -> None:
+        """Install a phantom entry: key known-computed, products elsewhere.
+
+        Called by the process backend after a worker confirmed computing
+        the decomposition for exactly these weight bytes.  A resident
+        entry for the same key is left untouched (it is strictly better);
+        any entry for a different key is dropped first.
+        """
+        with self._lock:
+            if self._key_matches(weights, dtype):
+                return
+            self.invalidate()
+            self._storage_ref = weakref.ref(weights.storage)
+            self._key = self._weight_key(weights, dtype)
+
+    def absorb(self, delta: FastPathStats) -> None:
+        """Fold a worker's counter deltas into this cache's counters."""
+        with self._lock:
+            self.stats = self.stats.merge(delta)
 
     # ------------------------------------------------------------------
     # Attention-table carry-over (refine -> forward assignment)
@@ -142,9 +202,19 @@ class StepCache:
     def store_table(
         self, centroids: np.ndarray, temperature: float, table: np.ndarray
     ) -> None:
-        """Remember the table for the *current* decomposition and centroids."""
+        """Remember the table for the *current* decomposition and centroids.
+
+        Accepted against a resident entry whose row count matches, or
+        against a *phantom* entry (key known-computed, products
+        non-resident): the only phantom writer is the process backend's
+        merge step, which hands over a table the worker computed from the
+        exact bytes the phantom key covers, so the row count is consistent
+        by construction.  With no live entry at all the call is ignored.
+        """
         with self._lock:
-            if self._unique is None or table.shape[0] != self._unique.n_unique:
+            if self._key is None:
+                return
+            if self._unique is not None and table.shape[0] != self._unique.n_unique:
                 return
             self._table = table
             # Flatten at store time: lookup compares against a flattened
@@ -173,6 +243,19 @@ class StepCache:
             self.stats.table_misses += 1
             return None
 
+    def peek_table(self) -> tuple[np.ndarray, float, np.ndarray] | None:
+        """The carried ``(centroids, temperature, table)`` without counting.
+
+        Used by process-pool workers to extract the table their refine
+        parked, so the parent can re-park it (counter-free on both ends --
+        the transfer is transport, not a cache probe).
+        """
+        with self._lock:
+            if self._table is None or self._table_centroids is None:
+                return None
+            assert self._table_temperature is not None
+            return (self._table_centroids, self._table_temperature, self._table)
+
     def invalidate(self) -> None:
         """Drop all cached products (weights changed out from under us)."""
         with self._lock:
@@ -192,12 +275,14 @@ class FastPathReport:
 
     @property
     def total(self) -> FastPathStats:
+        """All layers' counters merged into one."""
         merged = FastPathStats()
         for stats in self.per_layer.values():
             merged = merged.merge(stats)
         return merged
 
     def summary(self) -> str:
+        """A per-layer hit/miss table, TOTAL last."""
         lines = [f"{'layer':<40} {'uniq h/m':>12} {'table h/m':>12}"]
         for name, s in sorted(self.per_layer.items()):
             lines.append(

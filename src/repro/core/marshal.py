@@ -128,6 +128,7 @@ class OffloadEntry:
 
     @property
     def is_sharded(self) -> bool:
+        """Whether the host copy is spread across a learner group."""
         return isinstance(self.host_copy, ShardedTensor)
 
     @property
@@ -138,9 +139,12 @@ class OffloadEntry:
         return self.host_copy.nbytes
 
     def cache_gpu(self, tensor: Tensor) -> None:
+        """Weakly remember ``tensor``'s storage as the latest source-device
+        reconstruction, so nearby unpacks share one transfer back."""
         self._gpu_cache = weakref.ref(tensor.storage)
 
     def cached_gpu_storage(self):
+        """The most recent source-device storage, or None if collected."""
         if self._gpu_cache is None:
             return None
         return self._gpu_cache()
@@ -192,6 +196,9 @@ class MarshalRegistry:
         self._digest_memo: dict[int, tuple[weakref.ReferenceType, int, int]] = {}
 
     def register(self, tensor: Tensor, entry: OffloadEntry) -> None:
+        """Record that ``tensor``'s storage now has the host copy in
+        ``entry`` (indexed by tensor id, storage id, and -- lazily -- by
+        content fingerprint)."""
         ref = weakref.ref(tensor)
         storage_ref = weakref.ref(tensor.storage)
         self._by_tensor_id[id(tensor)] = (ref, entry, id(tensor.storage))
@@ -201,6 +208,7 @@ class MarshalRegistry:
         )
 
     def clear(self) -> None:
+        """Drop every index (called between steps: weights change)."""
         self._by_tensor_id.clear()
         self._by_storage_id.clear()
         self._by_fingerprint.clear()

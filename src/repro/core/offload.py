@@ -76,6 +76,11 @@ class SavedTensorPipeline:
 
     @contextlib.contextmanager
     def step(self) -> Iterator["SavedTensorPipeline"]:
+        """Scope one forward/backward under the pack/unpack hooks.
+
+        Clears the marshal registry on entry and exit -- dedup must never
+        span an optimizer write.
+        """
         self.registry.clear()
         if not self.config.offload:
             yield self

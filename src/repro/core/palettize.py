@@ -52,6 +52,7 @@ class PalettizedTensor:
         bits: int,
         shape: tuple[int, ...],
     ) -> "PalettizedTensor":
+        """Pack precomputed nearest-centroid ``assignments`` against ``lut``."""
         return cls(
             lut=np.asarray(lut, dtype=np.float32),
             packed=pack_indices(assignments, bits),
@@ -79,6 +80,7 @@ class PalettizedTensor:
 
     @property
     def numel(self) -> int:
+        """Number of weight positions the packed indices decode to."""
         n = 1
         for s in self.shape:
             n *= s
@@ -91,9 +93,11 @@ class PalettizedTensor:
 
     @property
     def bits_per_weight(self) -> float:
+        """Effective storage cost per weight, LUT amortization included."""
         return 8.0 * self.nbytes / max(self.numel, 1)
 
     def dequantize(self) -> np.ndarray:
+        """Materialize the float32 weight tensor (LUT gather + reshape)."""
         indices = unpack_indices(self.packed, self.bits, self.numel)
         return self.lut[indices].reshape(self.shape).astype(np.float32)
 

@@ -38,10 +38,12 @@ class UniquifiedWeights:
 
     @property
     def n_unique(self) -> int:
+        """Distinct 16-bit patterns present (``u``, at most 65,536)."""
         return int(self.patterns.size)
 
     @property
     def n_weights(self) -> int:
+        """Total weight positions (``N``, the index-list length)."""
         return int(self.index_list.size)
 
     @property
@@ -80,6 +82,7 @@ def uniquify_call_count() -> int:
 
 
 def reset_uniquify_call_count() -> None:
+    """Zero the computation counter (test/benchmark bookkeeping)."""
     global _CALL_COUNT
     with _CALL_COUNT_LOCK:
         _CALL_COUNT = 0

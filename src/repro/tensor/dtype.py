@@ -57,6 +57,16 @@ class DType:
             out = self.quantize(out)
         return out
 
+    def __reduce__(self):
+        """Pickle by name so unpickling returns the interned singleton.
+
+        Dispatch throughout the engine compares dtypes by identity
+        (``dtype is bfloat16``); a structurally-pickled copy crossing a
+        process boundary -- e.g. a ``DKMConfig`` shipped to a pool worker --
+        would silently fail every such check.
+        """
+        return (get_dtype, (self.name,))
+
     def __repr__(self) -> str:
         return f"repro.{self.name}"
 

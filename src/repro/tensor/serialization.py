@@ -1,14 +1,49 @@
-"""State-dict persistence as ``.npz`` archives."""
+"""Tensor serialization: ``.npz`` state-dicts and the shared-memory codec.
+
+Two transports live here:
+
+- :func:`save_state` / :func:`load_state` -- durable name->tensor archives
+  (npz payload + a JSON sidecar carrying the *logical* dtypes numpy cannot
+  represent, e.g. bfloat16).
+- the **shm codec** -- zero-copy hand-off of a tensor between processes on
+  one host via ``multiprocessing.shared_memory``.  The exporting process
+  copies the tensor's physical storage buffer into a named block once
+  (:func:`export_tensor_shm`); any number of worker processes then
+  reconstruct a read-only view over the *same* pages
+  (:func:`attach_tensor_shm`) from a tiny picklable
+  :class:`ShmTensorHandle`, so fanning a sweep out over a process pool
+  ships O(metadata) per task instead of O(weight bytes).
+
+Lifecycle rules of the codec (enforced by :class:`ShmExport` /
+:class:`ShmLease`):
+
+- the exporter owns the block: ``ShmExport.close()`` unmaps *and unlinks*
+  it; every attach is transient, read-only, and must be closed by the
+  worker.
+- attaching never takes resource-tracker *ownership* of the block
+  (``track=False`` on Python >= 3.13; on older interpreters the attach's
+  registration is harmless because workers share the exporter's tracker
+  and the exporter's ``unlink`` clears the per-name entry exactly once --
+  see :func:`_open_shm_untracked` for why it must *not* be explicitly
+  unregistered).
+- blocks are sized off ``Storage.physical_nbytes`` -- the numpy buffer,
+  not the logical accounting -- because simulated dtypes (bfloat16) store
+  wider than they account.
+"""
 
 from __future__ import annotations
 
 import json
 import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.tensor.device import CPU, Device, device as as_device
 from repro.tensor.dtype import get_dtype
+from repro.tensor.storage import Storage
 from repro.tensor.tensor import Tensor
 
 
@@ -43,3 +78,228 @@ def load_state(path: str, device: Device | str = CPU) -> dict[str, Tensor]:
 def _sidecar(path: str) -> str:
     base = path[:-4] if path.endswith(".npz") else path
     return base + ".dtypes.json"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory codec
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmTensorHandle:
+    """Picklable descriptor of a tensor exported to a shared-memory block.
+
+    Carries everything a worker needs to rebuild a zero-copy view: the
+    block name, the logical dtype *name* (resolved back to the interned
+    :class:`~repro.tensor.dtype.DType` on attach), the storage element
+    count, and the (shape, strides, offset) view metadata.  ``version`` is
+    the source storage's in-place-write counter at export time, so the
+    exporter can detect that a handle has gone stale after an optimizer
+    step without re-hashing any bytes.
+    """
+
+    shm_name: str
+    dtype_name: str
+    storage_numel: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+    offset: int
+    version: int
+    device_name: str = "cpu"
+
+
+class ShmExport:
+    """Owner of one exported block: closes *and unlinks* on ``close()``.
+
+    A safety-net ``weakref.finalize`` unlinks the block if the owner is
+    garbage collected (or the interpreter exits) without an explicit
+    close, so a crashed sweep cannot leak ``/dev/shm`` segments.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: ShmTensorHandle):
+        self.shm = shm
+        self.handle = handle
+        self._finalizer = weakref.finalize(self, _destroy_shm, shm)
+
+    @property
+    def name(self) -> str:
+        """The block's name (what :func:`attach_tensor_shm` opens)."""
+        return self.handle.shm_name
+
+    def close(self) -> None:
+        """Unmap and unlink the block.  Idempotent."""
+        self._finalizer()
+
+    def __enter__(self) -> "ShmExport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _destroy_shm(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - stray view still alive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _open_shm_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without taking tracker ownership.
+
+    Python >= 3.13 exposes ``track=False`` for exactly this.  On older
+    interpreters the attach registers the name with the resource tracker;
+    that is harmless *and must be left in place*: pool workers share the
+    exporting process's tracker (spawn hands children the tracker fd), its
+    cache is a per-name set, so the attach-side registration is idempotent
+    with the exporter's own and is cleared exactly once by the exporter's
+    ``unlink``.  Explicitly unregistering here would strip the exporter's
+    entry from the shared tracker and make that later ``unlink`` a noisy
+    double-unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def export_tensor_shm(tensor: Tensor, name: str | None = None) -> ShmExport:
+    """Copy ``tensor``'s storage into a fresh shared-memory block.
+
+    The whole backing storage is exported (views share storages, so one
+    export serves every view of a weight) together with the tensor's view
+    metadata.  This is the codec's only byte copy; attaches are zero-copy.
+    A zero-size storage still allocates a 1-byte block (the OS refuses
+    empty segments); the handle's ``storage_numel`` keeps the truth.
+    """
+    _sweep_deferred_closes()
+    storage = tensor.storage
+    phys = storage.data
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(1, storage.physical_nbytes), name=name
+    )
+    try:
+        staging = np.frombuffer(shm.buf, dtype=phys.dtype, count=phys.size)
+        staging[...] = phys
+        del staging
+        handle = ShmTensorHandle(
+            shm_name=shm.name,
+            dtype_name=storage.dtype.name,
+            storage_numel=storage.numel,
+            shape=tuple(tensor.shape),
+            strides=tuple(tensor.strides),
+            offset=int(tensor.offset),
+            version=int(storage.version),
+            device_name=storage.device.name,
+        )
+    except BaseException:
+        _destroy_shm(shm)
+        raise
+    return ShmExport(shm, handle)
+
+
+# Leases whose unmap had to wait for an outstanding view: (weakref to the
+# pinning buffer array, shm).  Plain weakrefs, no callbacks -- a weakref
+# *callback* fires mid-deallocation, before numpy has released its buffer
+# export, so closing from one still hits BufferError; polling the ref
+# instead guarantees the export is fully gone.  The strong shm reference
+# also keeps ``SharedMemory.__del__`` (which would warn) from ever running
+# on an un-closable mapping.
+_deferred_closes: list[tuple[weakref.ReferenceType, shared_memory.SharedMemory]] = []
+
+
+def _sweep_deferred_closes() -> None:
+    """Unmap any parked lease whose last pinning view has died."""
+    still_pinned = []
+    for ref, shm in _deferred_closes:
+        if ref() is not None:
+            still_pinned.append((ref, shm))
+            continue
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - export released lazily
+            still_pinned.append((ref, shm))
+    _deferred_closes[:] = still_pinned
+
+
+class ShmLease:
+    """A worker-side attachment: tensor view + the duty to close it.
+
+    ``tensor`` is valid only while the lease is open.  ``close()`` unmaps
+    the block immediately when nothing else references the mapped pages
+    (the worker path -- results were copied out first); if the caller
+    still holds the tensor (easy to do with the ``with ... as t``
+    binding), the mapping is parked and unmapped by the next codec call
+    after the last view dies, instead of raising ``BufferError``.  The
+    block is never *unlinked* here -- the exporter owns its lifetime.
+    """
+
+    def __init__(self, handle: ShmTensorHandle):
+        self.handle = handle
+        self._shm: shared_memory.SharedMemory | None = _open_shm_untracked(
+            handle.shm_name
+        )
+        dtype = get_dtype(handle.dtype_name)
+        data = np.frombuffer(
+            self._shm.buf, dtype=dtype.np_storage, count=handle.storage_numel
+        )
+        # The pages are shared by every worker and reused across sweeps;
+        # a stray in-place write must fail loudly, not corrupt them all.
+        data.flags.writeable = False
+        self._data: np.ndarray | None = data
+        storage = Storage(data, dtype, as_device(handle.device_name))
+        self.tensor: Tensor | None = Tensor(
+            storage, handle.shape, handle.strides, handle.offset
+        )
+
+    def close(self) -> None:
+        """Release the lease; unmap now or as soon as the last view dies."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        data, self._data = self._data, None
+        self.tensor = None
+        data_ref = weakref.ref(data)
+        del data
+        try:
+            shm.close()
+        except BufferError:
+            _deferred_closes.append((data_ref, shm))
+        _sweep_deferred_closes()
+
+    def __enter__(self) -> Tensor:
+        assert self.tensor is not None
+        return self.tensor
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_tensor_shm(handle: ShmTensorHandle) -> ShmLease:
+    """Open a zero-copy view of an exported tensor in this process.
+
+    Returns a :class:`ShmLease`; use it as a context manager (the yielded
+    tensor shares the exporter's physical pages and must not outlive the
+    lease).  Raises ``FileNotFoundError`` if the block was already
+    unlinked -- the signal tests use to verify cleanup.
+    """
+    _sweep_deferred_closes()
+    return ShmLease(handle)
+
+
+def materialize_shm(handle: ShmTensorHandle) -> np.ndarray:
+    """Attach, copy the tensor's data out, detach.
+
+    The round-trip primitive: safe to call from any process, returns a
+    plain owned array (physical dtype), leaves the block mapped nowhere.
+    """
+    lease = attach_tensor_shm(handle)
+    try:
+        assert lease.tensor is not None
+        return lease.tensor.numpy()
+    finally:
+        lease.close()

@@ -57,6 +57,18 @@ class Storage:
     def numel(self) -> int:
         return int(self.data.size)
 
+    @property
+    def physical_nbytes(self) -> int:
+        """Bytes of the backing numpy buffer (not the logical accounting).
+
+        For natively-representable dtypes this equals ``nbytes``; for
+        simulated ones it differs -- bfloat16 is *accounted* at 2 bytes per
+        element but *stored* in a float32 buffer at 4.  Byte-level transports
+        (the shared-memory codec in :mod:`repro.tensor.serialization`) must
+        size their blocks off this figure, not ``nbytes``.
+        """
+        return int(self.data.size) * int(self.data.dtype.itemsize)
+
     def bump_version(self) -> None:
         """Record an in-place write to the buffer.
 

@@ -1,0 +1,167 @@
+"""Shared-memory tensor codec tests (see ``repro/tensor/serialization.py``).
+
+The codec must round-trip every logical dtype bit-for-bit (including the
+simulated bfloat16, whose physical buffer is wider than its accounting),
+preserve view metadata (0-d, empty, strided/offset views), resolve dtypes
+back to the interned singletons after crossing a pickle boundary, and
+never leak a block: the exporter's ``close()`` unlinks, leases only unmap,
+and a worker that dies mid-task cannot take the block with it.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.tensor.dtype import _ALL, get_dtype
+from repro.tensor.serialization import (
+    ShmTensorHandle,
+    attach_tensor_shm,
+    export_tensor_shm,
+    materialize_shm,
+)
+from repro.tensor.tensor import Tensor
+
+
+def _sample_array(dtype_name: str, shape=(5, 3)) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    if dtype_name == "bool":
+        return rng.random(shape) > 0.5
+    dtype = get_dtype(dtype_name)
+    if dtype.is_floating:
+        return (rng.standard_normal(shape) * 3).astype(dtype.np_storage)
+    return rng.integers(0, 100, size=shape).astype(dtype.np_storage)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype_name", sorted(_ALL))
+    def test_all_dtypes_bit_identical(self, dtype_name):
+        tensor = Tensor.from_numpy(_sample_array(dtype_name), dtype=dtype_name)
+        with export_tensor_shm(tensor) as export:
+            with attach_tensor_shm(export.handle) as attached:
+                assert attached.dtype is tensor.dtype  # interned singleton
+                assert attached.shape == tensor.shape
+                assert attached.strides == tensor.strides
+                assert attached.offset == tensor.offset
+                assert np.array_equal(attached._np(), tensor._np())
+                # Physical buffers match byte-for-byte (bf16's float32
+                # backing included).
+                assert np.array_equal(
+                    attached.storage.data, tensor.storage.data
+                )
+
+    def test_bfloat16_physical_width(self):
+        tensor = Tensor.from_numpy(np.ones(4, dtype=np.float32), dtype="bfloat16")
+        assert tensor.storage.physical_nbytes == 16  # float32 backing
+        assert tensor.storage.nbytes == 8  # logical accounting
+        with export_tensor_shm(tensor) as export:
+            assert materialize_shm(export.handle).nbytes == 16
+
+    def test_zero_dim_tensor(self):
+        tensor = Tensor.from_numpy(np.float32(3.25))
+        assert tensor.shape == ()
+        with export_tensor_shm(tensor) as export:
+            out = materialize_shm(export.handle)
+            assert out.shape == ()
+            assert out == np.float32(3.25)
+
+    def test_empty_tensor(self):
+        tensor = Tensor.from_numpy(np.zeros((0,), dtype=np.float32))
+        with export_tensor_shm(tensor) as export:
+            assert export.handle.storage_numel == 0
+            out = materialize_shm(export.handle)
+            assert out.shape == (0,)
+
+    def test_strided_view_preserved(self):
+        base = Tensor.from_numpy(np.arange(24, dtype=np.float32).reshape(4, 6))
+        view = base.transpose(0, 1)[1:3]
+        assert view.strides != base.strides or view.offset != 0
+        with export_tensor_shm(view) as export:
+            with attach_tensor_shm(export.handle) as attached:
+                assert np.array_equal(attached._np(), view._np())
+
+    def test_handle_pickles_small_and_exact(self):
+        tensor = Tensor.from_numpy(_sample_array("float32", (64, 64)))
+        with export_tensor_shm(tensor) as export:
+            payload = pickle.dumps(export.handle)
+            # O(metadata): the 16 KiB of weight bytes never enter the pickle.
+            assert len(payload) < 1024
+            handle = pickle.loads(payload)
+            assert handle == export.handle
+            assert np.array_equal(materialize_shm(handle), tensor.numpy())
+
+
+class TestLifecycle:
+    def test_export_close_unlinks(self):
+        tensor = Tensor.from_numpy(np.ones(8, dtype=np.float32))
+        export = export_tensor_shm(tensor)
+        handle = export.handle
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            attach_tensor_shm(handle)
+
+    def test_export_close_idempotent(self):
+        export = export_tensor_shm(Tensor.from_numpy(np.ones(2, dtype=np.float32)))
+        export.close()
+        export.close()
+
+    def test_lease_close_does_not_unlink(self):
+        tensor = Tensor.from_numpy(np.arange(6, dtype=np.float32))
+        with export_tensor_shm(tensor) as export:
+            lease = attach_tensor_shm(export.handle)
+            lease.close()
+            lease.close()  # idempotent
+            # Exporter still serves the block to later attaches.
+            assert np.array_equal(materialize_shm(export.handle), tensor.numpy())
+
+    def test_lease_closes_on_exception(self):
+        tensor = Tensor.from_numpy(np.arange(6, dtype=np.float32))
+        export = export_tensor_shm(tensor)
+        lease = attach_tensor_shm(export.handle)
+        with pytest.raises(RuntimeError, match="worker died"):
+            with lease:
+                raise RuntimeError("worker died")
+        assert lease.tensor is None
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            attach_tensor_shm(export.handle)
+
+    def test_gc_finalizer_unlinks_unclosed_export(self):
+        export = export_tensor_shm(Tensor.from_numpy(np.ones(4, dtype=np.float32)))
+        handle = export.handle
+        del export  # no explicit close: the weakref.finalize safety net runs
+        with pytest.raises(FileNotFoundError):
+            attach_tensor_shm(handle)
+
+    def test_attached_view_is_read_only(self):
+        tensor = Tensor.from_numpy(np.arange(6, dtype=np.float32))
+        with export_tensor_shm(tensor) as export:
+            with attach_tensor_shm(export.handle) as attached:
+                # The pages are shared by every worker and reused across
+                # sweeps; a stray in-place write must fail loudly.
+                with pytest.raises(ValueError):
+                    attached.storage.data[0] = 99.0
+                with pytest.raises(ValueError):
+                    attached._np()[0] = 99.0
+            # The exporter's own buffer is untouched and still writable.
+            assert tensor.storage.data[0] == 0.0
+
+    def test_attach_unknown_name_raises(self):
+        handle = ShmTensorHandle(
+            shm_name="repro_test_no_such_block",
+            dtype_name="float32",
+            storage_numel=4,
+            shape=(4,),
+            strides=(1,),
+            offset=0,
+            version=0,
+        )
+        with pytest.raises(FileNotFoundError):
+            attach_tensor_shm(handle)
+
+
+class TestDTypePickling:
+    @pytest.mark.parametrize("dtype_name", sorted(_ALL))
+    def test_dtype_unpickles_to_interned_singleton(self, dtype_name):
+        dtype = get_dtype(dtype_name)
+        assert pickle.loads(pickle.dumps(dtype)) is dtype

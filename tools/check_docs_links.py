@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Relative-link checker for the repo's Markdown documentation.
+
+Scans the given Markdown files (default: README.md, docs/*.md,
+benchmarks/README.md) for inline links and verifies that every *relative*
+target resolves to an existing file or directory. External links
+(``http(s)://``, ``mailto:``), pure in-page anchors (``#...``), and badge
+image paths that GitHub resolves outside the tree (``../../actions/...``)
+are skipped; a ``#fragment`` suffix on a relative link is stripped before
+checking. Exits non-zero listing every broken link -- the CI docs gate.
+
+    python tools/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DEFAULT_TARGETS = ["README.md", "benchmarks/README.md", "docs/*.md"]
+
+
+def iter_links(path: str):
+    """Yield ``(line_number, target)`` for every inline link in ``path``."""
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def is_checkable(target: str) -> bool:
+    """Whether ``target`` is a relative path this repo should contain."""
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return False
+    # Badge/workflow links resolve on GitHub above the repo root.
+    if target.startswith("../../"):
+        return False
+    return True
+
+
+def main(argv: list[str]) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv or [
+        path
+        for pattern in DEFAULT_TARGETS
+        for path in sorted(glob.glob(os.path.join(repo_root, pattern)))
+    ]
+    broken: list[str] = []
+    checked = 0
+    for path in files:
+        base = os.path.dirname(os.path.abspath(path))
+        for lineno, target in iter_links(path):
+            if not is_checkable(target):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, repo_root)
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(
+        f"checked {checked} relative links in {len(files)} files: "
+        f"{len(broken)} broken"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
