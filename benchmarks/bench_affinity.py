@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Sticky worker-affinity benchmark entry point.
+
+Replays the same multi-layer ``precluster`` sweeps through the process
+backend's two affinity modes and asserts what sticky affinity promises:
+a warm sticky sweep ships *only deltas* and *strictly fewer pickled bytes
+per layer* than the chunked task pool, while centroids, assignments,
+reconstruction errors, and per-layer step-cache counters stay
+bit-identical to the serial backend across a cold sweep, a warm sweep, a
+simulated worker crash, and a pool-resize rebalance.  Every exported
+shared-memory block must be unlinked after the run.  Writes
+``benchmarks/results/BENCH_affinity.json`` (schema: ``docs/benchmarks.md``).
+
+Wall times are recorded but not gated: on a core-starved host the
+process transport dominates and CI runners are noisy -- the byte
+accounting, task-kind counts, bit-identity, counter, and shm-cleanup
+assertions always fail the run.
+
+    PYTHONPATH=src python benchmarks/bench_affinity.py          # full
+    PYTHONPATH=src python benchmarks/bench_affinity.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.affinity import run_affinity  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_affinity.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--layers", type=int, default=8)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller shapes (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    features = 96 if args.quick else 256
+    result = run_affinity(
+        n_layers=args.layers,
+        in_features=features,
+        out_features=features,
+        workers=args.workers,
+        seed=args.seed,
+    )
+
+    payload = result.to_json_dict()
+    failures: list[str] = []
+    for row in payload["rows"]:
+        print(
+            f"{row['affinity']:<8} sweep {row['sweep']} "
+            f"({row['scenario']:<14}) {row['wall_seconds']:.4f}s  "
+            f"{row['bytes_shipped']:>7}B shipped "
+            f"({row['full_tasks']} full / {row['delta_tasks']} delta)  "
+            f"bit-identical={row['bit_identical']}  "
+            f"stats-identical={row['stats_identical']}"
+        )
+        if not row["bit_identical"]:
+            failures.append(
+                f"{row['affinity']} sweep {row['sweep']} ({row['scenario']}): "
+                "outputs differ from serial"
+            )
+        if not row["stats_identical"]:
+            failures.append(
+                f"{row['affinity']} sweep {row['sweep']} ({row['scenario']}): "
+                "step-cache counters differ from serial"
+            )
+        if row["affinity"] == "sticky" and row["scenario"] == "warm":
+            if row["full_tasks"] != 0:
+                failures.append(
+                    f"sticky sweep {row['sweep']}: warm sweep still shipped "
+                    f"{row['full_tasks']} full task(s)"
+                )
+            if row["delta_tasks"] != payload["n_layers"]:
+                failures.append(
+                    f"sticky sweep {row['sweep']}: expected "
+                    f"{payload['n_layers']} deltas, got {row['delta_tasks']}"
+                )
+    warm = payload["warm_bytes_per_layer"]
+    print(
+        f"warm bytes/layer: sticky={warm['sticky']:.1f} "
+        f"chunked={warm['chunked']:.1f}  "
+        f"warm wall: sticky={payload['warm_wall_seconds']['sticky']:.4f}s "
+        f"chunked={payload['warm_wall_seconds']['chunked']:.4f}s"
+    )
+    if not payload["sticky_ships_fewer_warm_bytes"]:
+        failures.append(
+            "sticky warm sweep did not ship strictly fewer bytes per layer "
+            f"than chunked ({warm['sticky']} vs {warm['chunked']})"
+        )
+    if not payload["shm_cleaned"]:
+        failures.append("process backend left shared-memory blocks linked")
+    print(f"shm-cleaned={payload['shm_cleaned']}  cpu_count={payload['cpu_count']}")
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all affinity assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

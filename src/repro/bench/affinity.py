@@ -1,0 +1,203 @@
+"""Sticky-affinity benchmark: delta shipping vs the chunked task pool.
+
+Measures the two quantities sticky worker affinity exists to change, and
+proves the equivalences it must not change:
+
+- **bytes pickled per sweep** -- the parent-side task payload recorded by
+  the engine's :class:`~repro.core.procpool.TransportStats`.  A warm
+  sticky sweep ships one ``O(k)`` :class:`~repro.core.procpool.
+  LayerDelta` per layer (no shm handle, no config); the chunked mode
+  re-ships full :class:`~repro.core.procpool.LayerTask` objects every
+  sweep.  The headline gate: sticky's warm bytes per layer must be
+  *strictly lower* than chunked's.
+- **warm-sweep wall time** -- the same ``precluster`` sweep once every
+  layer is resident: sticky workers reuse their resident uniquify
+  products (a real cache hit), chunked workers recompute behind a
+  phantom hit.
+- **cache-hit reconciliation** -- after every sweep, every mode's
+  per-layer :class:`~repro.core.fastpath.FastPathStats` counters and
+  results (centroids, assignments, temperatures, reconstruction errors)
+  must equal the serial reference, including across the two sticky-only
+  scenarios: a worker hard-killed between sweeps (``crash-recovery``)
+  and a pool resize (``rebalance``, the one event that re-pins layers).
+
+After every process-backend run the engine's shared-memory blocks are
+closed and probed; ``shm_cleaned`` is true iff every probe raises
+``FileNotFoundError``.  ``benchmarks/bench_affinity.py`` wraps
+:func:`run_affinity` into the CLI that writes ``BENCH_affinity.json``
+(schema: ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.backends import (
+    _all_unlinked,
+    _build_compressor,
+    _layer_stats,
+    _results_identical,
+)
+from repro.core.compressor import ModelCompressor
+
+N_SWEEPS = 4
+"""Per-mode sweep count: cold, warm, crash-recovery, rebalance."""
+
+
+@dataclass
+class AffinitySweepRow:
+    """One sweep's transport + equivalence measurements for one mode."""
+
+    affinity: str
+    sweep: int
+    scenario: str
+    wall_seconds: float
+    bytes_shipped: int
+    bytes_per_layer: float
+    full_tasks: int
+    delta_tasks: int
+    bit_identical: bool
+    stats_identical: bool
+
+
+@dataclass
+class AffinityBenchResult:
+    """Everything :func:`run_affinity` measured, JSON-serializable."""
+
+    cpu_count: int = 0
+    workers: int = 0
+    n_layers: int = 0
+    weights_per_layer: int = 0
+    serial_wall_seconds: list[float] = field(default_factory=list)
+    rows: list[AffinitySweepRow] = field(default_factory=list)
+    shm_cleaned: bool = True
+
+    def warm_row(self, affinity: str) -> AffinitySweepRow | None:
+        """The plain warm sweep (sweep 2) of ``affinity``, if recorded."""
+        for row in self.rows:
+            if row.affinity == affinity and row.sweep == 2:
+                return row
+        return None
+
+    def to_json_dict(self) -> dict:
+        """The ``BENCH_affinity.json`` payload (see ``docs/benchmarks.md``)."""
+        warm = {
+            mode: self.warm_row(mode) for mode in ("sticky", "chunked")
+        }
+        sticky, chunked = warm["sticky"], warm["chunked"]
+        return {
+            "benchmark": "affinity",
+            "cpu_count": self.cpu_count,
+            "workers": self.workers,
+            "n_layers": self.n_layers,
+            "weights_per_layer": self.weights_per_layer,
+            "serial_wall_seconds": self.serial_wall_seconds,
+            "rows": [asdict(row) for row in self.rows],
+            "warm_bytes_per_layer": {
+                mode: (row.bytes_per_layer if row else None)
+                for mode, row in warm.items()
+            },
+            "warm_wall_seconds": {
+                mode: (row.wall_seconds if row else None)
+                for mode, row in warm.items()
+            },
+            "sticky_ships_fewer_warm_bytes": (
+                sticky is not None
+                and chunked is not None
+                and sticky.bytes_per_layer < chunked.bytes_per_layer
+            ),
+            "shm_cleaned": self.shm_cleaned,
+        }
+
+
+def _kill_one_slot_worker(compressor: ModelCompressor) -> None:
+    """Simulate a worker crash: hard-kill the first live slot process."""
+    engine = compressor._engine
+    assert engine is not None
+    for pool in engine._state["slots"]:
+        processes = list((pool._processes or {}).values())
+        if processes:
+            processes[0].kill()
+            processes[0].join()
+            return
+    raise AssertionError("no live sticky slot worker to kill")
+
+
+def run_affinity(
+    n_layers: int = 8,
+    in_features: int = 256,
+    out_features: int = 256,
+    workers: int = 2,
+    bits: int = 3,
+    iters: int = 3,
+    seed: int = 0,
+) -> AffinityBenchResult:
+    """Run the sticky-vs-chunked transport benchmark, fixed seed.
+
+    Serial runs :data:`N_SWEEPS` reference sweeps first; each process
+    mode then replays them -- sweep 1 cold, sweep 2 warm, and (sticky
+    only) sweep 3 after a simulated worker crash, sweep 4 after a pool
+    resize to ``workers + 1`` -- comparing results and step-cache
+    counters against the matching serial sweep.
+    """
+    result = AffinityBenchResult(
+        cpu_count=os.cpu_count() or 1,
+        workers=workers,
+        n_layers=n_layers,
+        weights_per_layer=in_features * out_features,
+    )
+
+    serial = _build_compressor(
+        "serial", n_layers, in_features, out_features, workers, bits, iters, seed
+    )
+    serial_results, serial_stats = [], []
+    for _ in range(N_SWEEPS):
+        start = time.perf_counter()
+        serial_results.append(serial.precluster(compute_error=True))
+        result.serial_wall_seconds.append(time.perf_counter() - start)
+        serial_stats.append(_layer_stats(serial))
+
+    for affinity in ("chunked", "sticky"):
+        compressor = _build_compressor(
+            "process", n_layers, in_features, out_features, workers, bits, iters, seed
+        )
+        compressor.config.affinity = affinity
+        try:
+            for sweep in range(N_SWEEPS):
+                scenario = "cold" if sweep == 0 else "warm"
+                if affinity == "sticky" and sweep == 2:
+                    _kill_one_slot_worker(compressor)
+                    scenario = "crash-recovery"
+                if affinity == "sticky" and sweep == 3:
+                    compressor.config.num_workers = workers + 1
+                    scenario = "rebalance"
+                start = time.perf_counter()
+                res = compressor.precluster(compute_error=True)
+                wall = time.perf_counter() - start
+                transport = compressor.transport_stats()
+                result.rows.append(
+                    AffinitySweepRow(
+                        affinity=affinity,
+                        sweep=sweep + 1,
+                        scenario=scenario,
+                        wall_seconds=wall,
+                        bytes_shipped=transport.last_sweep_bytes,
+                        bytes_per_layer=transport.last_sweep_bytes / n_layers,
+                        full_tasks=transport.last_sweep_full_tasks,
+                        delta_tasks=transport.last_sweep_delta_tasks,
+                        bit_identical=_results_identical(
+                            serial_results[sweep], res
+                        ),
+                        stats_identical=serial_stats[sweep]
+                        == _layer_stats(compressor),
+                    )
+                )
+        finally:
+            engine = compressor._engine
+            shm_names = engine.active_shm_names() if engine is not None else []
+            compressor.close()
+            if shm_names and not _all_unlinked(shm_names):
+                result.shm_cleaned = False
+    return result

@@ -18,6 +18,7 @@ Public surface:
 """
 
 from repro.core.config import (
+    AFFINITY_MODES,
     BACKENDS,
     CompressorConfig,
     DKMConfig,
@@ -36,7 +37,15 @@ from repro.core.compressor import (
     precluster_op,
     refine_op,
 )
-from repro.core.procpool import LayerOutcome, LayerTask, ProcessLayerEngine
+from repro.core.procpool import (
+    AffinityMap,
+    LayerDelta,
+    LayerOutcome,
+    LayerTask,
+    ProcessLayerEngine,
+    TransportStats,
+    WorkerCacheRegistry,
+)
 from repro.core.dkm import (
     ClusterState,
     DKMClusterer,
@@ -73,6 +82,7 @@ from repro.core.uniquify import (
 )
 
 __all__ = [
+    "AFFINITY_MODES",
     "BACKENDS",
     "CompressorConfig",
     "DKMConfig",
@@ -88,9 +98,13 @@ __all__ = [
     "parallel_layer_map",
     "precluster_op",
     "refine_op",
+    "AffinityMap",
+    "LayerDelta",
     "LayerOutcome",
     "LayerTask",
     "ProcessLayerEngine",
+    "TransportStats",
+    "WorkerCacheRegistry",
     "ClusterState",
     "DKMClusterer",
     "default_temperature",

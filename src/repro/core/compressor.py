@@ -17,10 +17,13 @@ execution backend selected by ``CompressorConfig.backend``:
   (:func:`parallel_layer_map`): numpy releases the GIL inside the big
   uniquify/gather/softmax kernels, so kernel time overlaps on multi-core
   hosts, but Python-side op dispatch still serializes;
-- ``"process"`` -- a ``ProcessPoolExecutor``
-  (:class:`~repro.core.procpool.ProcessLayerEngine`): workers rebuild each
-  layer's weight as a zero-copy shared-memory view, overlapping dispatch
-  as well.
+- ``"process"`` -- the :class:`~repro.core.procpool.ProcessLayerEngine`:
+  workers rebuild each layer's weight as a zero-copy shared-memory view,
+  overlapping dispatch as well.  Its default ``affinity="sticky"`` mode
+  pins each layer to one worker so uniquify products, attention tables,
+  and shm attachments stay worker-resident across sweeps and warm sweeps
+  ship only ``O(k)`` deltas (``affinity="chunked"`` keeps the stateless
+  round-robin task pool).
 
 **Bit-identity invariant** (established for the thread backend in the
 parallel-engine PR and extended to processes here): every backend hands
@@ -57,7 +60,7 @@ from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.procpool import ProcessLayerEngine
+    from repro.core.procpool import ProcessLayerEngine, TransportStats
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -418,6 +421,18 @@ class ModelCompressor:
                 cache.store_table(*outcome.table)
             results[name] = outcome.result
         return results
+
+    def transport_stats(self) -> "TransportStats | None":
+        """The process backend's per-sweep shipping counters, if it ran.
+
+        ``None`` for the serial/thread backends (nothing is pickled) and
+        before the first process sweep.  Under ``affinity="sticky"`` the
+        ``last_sweep_*`` fields show the delta-shipping effect directly:
+        a warm sweep's ``last_sweep_delta_tasks`` equals the layer count
+        and its ``last_sweep_bytes`` undercuts the same sweep under
+        ``affinity="chunked"`` (see ``benchmarks/bench_affinity.py``).
+        """
+        return self._engine.transport if self._engine is not None else None
 
     def close(self) -> None:
         """Release the process backend: shut the pool down, unlink shm.

@@ -68,6 +68,13 @@ on the calling thread, a GIL-sharing ``ThreadPoolExecutor``, or a
 MP_CONTEXTS = ("spawn", "fork", "forkserver")
 """Accepted ``multiprocessing`` start methods for the process backend."""
 
+AFFINITY_MODES = ("sticky", "chunked")
+"""Process-backend scheduling modes: ``"sticky"`` pins each layer to one
+worker (stable hash over layer insertion order, rebalanced only on pool
+resize) so worker-resident step caches survive across sweeps and warm
+sweeps ship only small deltas; ``"chunked"`` is the stateless task pool
+that re-ships full per-layer tasks in round-robin batches every sweep."""
+
 
 @dataclass
 class CompressorConfig:
@@ -95,12 +102,34 @@ class CompressorConfig:
             threads the parent holds -- workers import the codebase fresh
             and receive only picklable task specs; ``"fork"`` starts
             faster on POSIX but inherits arbitrary parent state.
-        task_chunk: layers per pickled task batch for the process backend.
-            Batching amortizes per-task pickle + IPC overhead; ``0``
-            (default) auto-sizes to ``ceil(n_layers / workers)`` -- one
-            batch per worker, the minimum dispatch cost for uniform
-            layers.  Set small (e.g. ``1``) when layer sizes are skewed
-            and load balancing matters more than dispatch overhead.
+        affinity: process-backend scheduling mode.  ``"sticky"``
+            (default) pins each layer to one worker through a stable hash
+            over layer insertion order (see
+            :class:`~repro.core.procpool.AffinityMap`), so each worker
+            keeps its pinned layers' uniquify products, attention tables,
+            and shared-memory attachments resident across sweeps and the
+            parent ships only per-sweep *deltas* (storage version,
+            cluster state, config epoch) once a layer is synced.
+            ``"chunked"`` keeps the stateless round-robin task pool that
+            re-ships full tasks every sweep.  Both modes are bit-identical
+            to serial; sticky ships strictly fewer pickled bytes per
+            layer on warm sweeps and skips worker-side recomputation.
+            Ignored by the serial/thread backends.
+        worker_cache_bytes_limit: soft cap on the *resident* bytes each
+            sticky worker may hold across its pinned layers' step caches
+            (uniquify products + carried attention tables).  When
+            exceeded, least-recently-used layers' products are evicted
+            down to phantom entries -- counters stay bit-identical to
+            serial, the products are simply recomputed on next use.  ``0``
+            (default) means unlimited.
+        task_chunk: layers per pickled task batch for the process
+            backend's ``"chunked"`` affinity mode.  Batching amortizes
+            per-task pickle + IPC overhead; ``0`` (default) auto-sizes to
+            ``ceil(n_layers / workers)`` -- one batch per worker, the
+            minimum dispatch cost for uniform layers.  Set small (e.g.
+            ``1``) when layer sizes are skewed and load balancing matters
+            more than dispatch overhead.  Sticky mode ignores it (one
+            batch per pinned worker by construction).
         embedding_bits: post-training palettization width for embeddings
             (paper: "we also compressed the embedding layers with 8 bits").
         skip_names: module-path prefixes exempted from wrapping.
@@ -109,6 +138,8 @@ class CompressorConfig:
     backend: str = "thread"
     num_workers: int = 1
     mp_context: str = "spawn"
+    affinity: str = "sticky"
+    worker_cache_bytes_limit: int = 0
     task_chunk: int = 0
     embedding_bits: int = 8
     skip_names: tuple[str, ...] = ()
@@ -123,8 +154,18 @@ class CompressorConfig:
                 f"unknown mp_context {self.mp_context!r}; "
                 f"expected one of {MP_CONTEXTS}"
             )
+        if self.affinity not in AFFINITY_MODES:
+            raise ValueError(
+                f"unknown affinity {self.affinity!r}; "
+                f"expected one of {AFFINITY_MODES}"
+            )
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.worker_cache_bytes_limit < 0:
+            raise ValueError(
+                "worker_cache_bytes_limit must be >= 0 (0 = unlimited), "
+                f"got {self.worker_cache_bytes_limit}"
+            )
         if self.task_chunk < 0:
             raise ValueError(f"task_chunk must be >= 0, got {self.task_chunk}")
 

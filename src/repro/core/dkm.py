@@ -31,7 +31,7 @@ from repro.core.config import DKMConfig
 from repro.core.fastpath import StepCache
 from repro.core.uniquify import attention_table
 from repro.tensor import ops
-from repro.tensor.autograd import no_grad
+from repro.tensor.autograd import is_grad_enabled, no_grad
 from repro.tensor.tensor import Tensor
 
 # Row-block size for the chunked fallback of the inspection helpers: bounds
@@ -175,10 +175,24 @@ class DKMClusterer:
         ``config.dense_saved_bytes_limit`` raises :class:`MemoryError` up
         front instead of thrashing the host.
 
-        Refinement always goes through the shared :class:`StepCache`
-        uniquify; when the cache already carries the converged attention
-        table for small ``|W|`` (one block), the no-grad refine cost is
-        amortized exactly as on the eDKM path.
+        **Step-cache table reuse** (the dense-path fast path): when the
+        call records *no* gradients -- grad mode is off or ``weights``
+        does not require grad -- and the whole tensor fits in one block
+        (``|W| <= row_chunk``, or the monolithic path), the reconstruction
+        is served from the step cache instead of the primitive
+        composition: the shared uniquify plus the refine-parked attention
+        table collapse the rebuild into a ``(u, k) @ (k,)`` mixture and an
+        ``O(|W|)`` gather, skipping the ``O(|W|·|C|)`` distance/softmax
+        blocks entirely.  The served values are the *unique-space*
+        mixture -- the same arithmetic the eDKM assignment uses -- which
+        differs from the primitive composition at the ULP level (division
+        by the temperature vs multiplication by its reciprocal), exactly
+        the established eDKM-vs-dense numerical relationship; do not
+        expect a no-grad forward to be bit-equal to a recording one.
+        Grad-recording calls never take this path, so training gradients
+        are bit-identical to the original composition (asserted by
+        regression test); the single-block gate keeps the blocked
+        fallback's bounded-buffer behavior untouched.
         """
         if row_chunk is None:
             row_chunk = self.config.dense_row_chunk
@@ -197,8 +211,18 @@ class DKMClusterer:
                     "to use the blocked fallback, or use the eDKM path"
                 )
             row_chunk = n_weights  # single block == original monolithic path
+        fastpath_ok = (
+            n_weights <= row_chunk
+            and self.config.weight_dtype.itemsize == 2
+            and weights.dtype is self.config.weight_dtype
+            and not (is_grad_enabled() and weights.requires_grad)
+        )
         with no_grad():
-            state = self.refine(weights)
+            state = self.refine(weights, cache_table=fastpath_ok)
+        if fastpath_ok:
+            reconstructed = self._dense_from_table(weights, state)
+            if reconstructed is not None:
+                return reconstructed
         centroids = Tensor.from_numpy(
             state.centroids, dtype="float32", device=weights.device
         )
@@ -216,6 +240,28 @@ class DKMClusterer:
         mixed_flat = blocks[0] if len(blocks) == 1 else ops.cat(blocks, dim=0)
         reconstructed = mixed_flat.reshape(weights.shape)
         return reconstructed.cast(weights.dtype)
+
+    def _dense_from_table(
+        self, weights: Tensor, state: ClusterState
+    ) -> Tensor | None:
+        """No-grad dense reconstruction straight from the carried table.
+
+        Returns ``None`` when the cache does not hold the table for the
+        refined (centroids, temperature) -- the caller falls back to the
+        primitive composition.  Only called from :meth:`cluster_dense`
+        when no gradient is being recorded, so substituting the
+        unique-space mixture for the per-block softmax rebuild cannot
+        perturb any training gradient.
+        """
+        unique = self.fastpath.uniquify(weights, self.config.weight_dtype)
+        table = self.fastpath.lookup_table(state.centroids, state.temperature)
+        if table is None:
+            return None
+        mixed_unique = table @ state.centroids.astype(np.float32)  # (u,)
+        out = mixed_unique[unique.index_list.astype(np.int64, copy=False)]
+        return Tensor.from_numpy(
+            out.reshape(weights.shape), dtype=weights.dtype, device=weights.device
+        )
 
     # ------------------------------------------------------------------
     # Inspection helpers

@@ -3,54 +3,90 @@
 The thread backend (:func:`repro.core.compressor.parallel_layer_map`) only
 overlaps the GIL-releasing numpy kernels; on many-layer models the
 Python-side op dispatch still serializes.  This module fans the engine's
-no-grad sweeps (``refine`` / ``precluster`` / ``palettize``) out over a
-``ProcessPoolExecutor`` instead, which overlaps dispatch as well -- the
-"Process-pool fan-out" item of the roadmap.
+no-grad sweeps (``refine`` / ``precluster`` / ``palettize``) out over
+process workers instead, which overlaps dispatch as well -- the
+"Process-pool fan-out" item of the roadmap -- and, in its default
+``"sticky"`` affinity mode, keeps each layer's heavy derived state
+*resident in its worker* across sweeps -- the "Persistent worker
+affinity" item.
 
-Three design rules keep the backend bit-identical to the serial sweep and
-cheap to feed:
+Two scheduling modes share one engine (``CompressorConfig.affinity``):
 
-- **Shared-memory weights.**  Each layer's weight storage is exported once
-  into a ``multiprocessing.shared_memory`` block (the only byte copy);
-  workers rebuild a zero-copy strided view from a tiny picklable
-  :class:`~repro.tensor.serialization.ShmTensorHandle`.  Exports are keyed
-  on (storage identity, version), so an optimizer step in the parent
-  invalidates and re-exports exactly the layers it wrote.
-- **Chunked task batching.**  Layers are grouped into
-  ``CompressorConfig.resolve_task_chunk`` batches per pickled task, so
-  per-task pickle + IPC overhead is amortized over many layers (one batch
-  per worker by default).
-- **Deterministic merge.**  Batches are submitted in layer insertion order
-  and gathered in submission order; per-layer clustering is a pure
-  function of (weight bytes, prior state, config), so centroids,
-  assignments, carried attention tables, and
-  :class:`~repro.core.fastpath.FastPathStats` counter deltas merge back
-  bit-identical to the serial sweep no matter how the pool interleaves.
+- **Sticky** (default).  An :class:`AffinityMap` pins every layer to one
+  worker slot through a stable content hash over the layer's name, taken
+  in layer insertion order and rebalanced only when the pool is resized.
+  Each slot is a single-worker pool, so a layer's tasks always land in
+  the same process, where a :class:`WorkerCacheRegistry` keeps the
+  layer's :class:`WorkerStepCache` -- its
+  :class:`~repro.core.dkm.DKMClusterer` (step cache, uniquify products,
+  carried attention table) plus a long-lived shared-memory lease --
+  alive between sweeps.  Once a layer is synced, the parent ships an
+  ``O(k)`` :class:`LayerDelta` (storage version, cluster state, config
+  epoch, warm token) instead of a full task, and warm sweeps skip the
+  worker-side re-uniquify entirely.  Workers ship back outcomes plus
+  :class:`~repro.core.fastpath.FastPathStats` counter *deltas* that the
+  parent folds into its phantom-entry accounting, so hit/miss counters
+  stay bit-identical to the serial sweep.
+- **Chunked**.  The stateless task pool of the original backend: layers
+  are grouped into ``CompressorConfig.resolve_task_chunk`` batches, each
+  task re-ships the full :class:`LayerTask` (handle + config + state),
+  and worker-side products die with the task.
 
-Worker lifecycle: the pool is spawn-safe (workers receive only picklable
+Three design rules keep both modes bit-identical to the serial sweep:
+
+- **Shared-memory weights.**  Each layer's weight storage is exported
+  once into a ``multiprocessing.shared_memory`` block (the only byte
+  copy); workers rebuild a zero-copy strided view from a tiny picklable
+  :class:`~repro.tensor.serialization.ShmTensorHandle`.  Exports are
+  keyed on (storage identity, version), so an optimizer step in the
+  parent invalidates and re-exports exactly the layers it wrote -- and,
+  under sticky affinity, demotes exactly those layers back to full
+  shipping.
+- **Deterministic merge.**  Outcomes are gathered in layer insertion
+  order; per-layer clustering is a pure function of (weight bytes, prior
+  state, config), so centroids, assignments, carried attention tables,
+  and counter deltas merge back bit-identical to the serial sweep no
+  matter how the pool interleaves.
+- **Invalidation protocol.**  The parent tracks per-layer sync records
+  (slot, block name, storage version, config epoch) and only ships a
+  delta when every field still matches; workers defensively re-validate
+  and raise :class:`StaleWorkerCache` on any mismatch, which -- like a
+  worker crash (``BrokenExecutor``) -- makes the parent re-ship the
+  slot's layers as full tasks (respawning the worker first if it died).
+  Every transport decision is observable through the engine's
+  :class:`TransportStats`.
+
+Worker lifecycle: pools are spawn-safe (workers receive only picklable
 task specs and import the codebase fresh under the default ``"spawn"``
 context), lazily created on the first sweep, reused across sweeps, and
 torn down -- together with every exported block -- by
 :meth:`ProcessLayerEngine.close`, by :meth:`ProcessLayerEngine.reset` on
 any sweep error, or by a ``weakref.finalize`` safety net if the engine is
-garbage collected first.  Cleanup is verifiable:
+garbage collected first.  A reset also drops every sync record, so the
+sweep after an error re-exports and re-ships everything instead of
+trusting stale ``(storage, version)`` keys.  Cleanup is verifiable:
 :meth:`ProcessLayerEngine.active_shm_names` lists the live blocks, and
 attaching to any of them after ``close()`` raises ``FileNotFoundError``.
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import pickle
 import weakref
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, replace
 from multiprocessing import get_context
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.config import CompressorConfig, DKMConfig
 from repro.core.dkm import ClusterState, DKMClusterer
 from repro.core.fastpath import FastPathStats
 from repro.tensor.serialization import (
     ShmExport,
+    ShmLease,
+    ShmLeaseRegistry,
     ShmTensorHandle,
     attach_tensor_shm,
     export_tensor_shm,
@@ -62,20 +98,55 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tensor.tensor import Tensor
 
 
+class StaleWorkerCache(RuntimeError):
+    """A delta task reached a worker whose resident cache cannot apply it.
+
+    Raised worker-side when a :class:`LayerDelta` names a layer the
+    worker does not hold, or holds at a different config epoch / storage
+    version (e.g. after a respawn the parent has not noticed).  The
+    parent reacts by re-shipping the slot's layers as full tasks --
+    correctness never depends on the parent's sync records being right,
+    they are purely a bytes optimization.
+    """
+
+
 @dataclass
 class LayerTask:
-    """One layer's worth of work shipped to a pool worker.
+    """One layer's worth of *full* work shipped to a pool worker.
 
     Everything here pickles small: the shm handle is O(metadata), the
     cluster state is ``O(k)`` floats, and ``warm`` is the one-bit token
     telling the worker its first uniquify is logically a cache hit (the
     parent's step cache already covers these exact weight bytes), so the
-    merged hit/miss counters match the serial sweep exactly.
+    merged hit/miss counters match the serial sweep exactly.  ``epoch``
+    tags the (handle, config) generation this task installs; later
+    :class:`LayerDelta` shipments must quote it back.
     """
 
     name: str
     handle: ShmTensorHandle
     dkm_config: DKMConfig
+    state: ClusterState | None
+    warm: bool
+    epoch: int = 0
+
+
+@dataclass
+class LayerDelta:
+    """The ``O(k)`` per-sweep shipment for a layer already resident.
+
+    Replaces a full :class:`LayerTask` under sticky affinity once the
+    worker holds the layer: no shm handle (the worker's pinned lease is
+    still valid -- ``version`` proves the storage was not rewritten), no
+    config (``epoch`` proves the resident one is current), just the
+    mutable cluster state the parent may have advanced between sweeps
+    plus the warm token.  Strictly fewer pickled bytes than the full
+    task it stands in for.
+    """
+
+    name: str
+    version: int
+    epoch: int
     state: ClusterState | None
     warm: bool
 
@@ -87,9 +158,11 @@ class LayerOutcome:
     ``result`` is the op's return value (a ``ClusterState`` snapshot, a
     ``LayerClusterResult``, or a ``PalettizedTensor``); ``state`` is the
     worker clusterer's final state, assigned back onto the parent layer;
-    ``stats`` holds the worker cache's counter deltas; ``table`` carries
-    the refine->forward attention table (``(centroids, temperature,
-    table)`` or ``None``) so the parent cache can re-park it.
+    ``stats`` holds the worker cache's counter deltas for exactly this
+    task; ``table`` carries the refine->forward attention table
+    (``(centroids, temperature, table)``), or ``None`` when the worker
+    already shipped the identical table object (the parent keeps its
+    parked copy).
     """
 
     name: str
@@ -99,8 +172,316 @@ class LayerOutcome:
     table: "tuple[np.ndarray, float, np.ndarray] | None"
 
 
+@dataclass
+class TransportStats:
+    """Parent-side accounting of what the engine ships per sweep.
+
+    ``bytes_shipped`` counts the pickled task payloads (the direction
+    affinity changes; outcome payloads are identical across modes).  The
+    ``last_sweep_*`` fields reset at every :meth:`begin_sweep`, so the
+    affinity benchmark can compare a warm sticky sweep against a warm
+    chunked sweep directly.  Accounting re-pickles each batch once; task
+    payloads are deliberately tiny (O(metadata) handles, ``O(k)`` states
+    and deltas -- never weight bytes), so this costs microseconds per
+    sweep and buys an always-on, assertable transport measurement.
+    """
+
+    sweeps: int = 0
+    tasks_shipped: int = 0
+    full_tasks: int = 0
+    delta_tasks: int = 0
+    bytes_shipped: int = 0
+    last_sweep_bytes: int = 0
+    last_sweep_full_tasks: int = 0
+    last_sweep_delta_tasks: int = 0
+
+    def begin_sweep(self) -> None:
+        """Open a new per-sweep accounting window."""
+        self.sweeps += 1
+        self.last_sweep_bytes = 0
+        self.last_sweep_full_tasks = 0
+        self.last_sweep_delta_tasks = 0
+
+    def record_batch(self, tasks: "Sequence[LayerTask | LayerDelta]") -> None:
+        """Charge one submitted batch (pickled size + task-kind counts)."""
+        nbytes = len(pickle.dumps(list(tasks), protocol=pickle.HIGHEST_PROTOCOL))
+        full = sum(1 for task in tasks if isinstance(task, LayerTask))
+        delta = len(tasks) - full
+        self.tasks_shipped += len(tasks)
+        self.full_tasks += full
+        self.delta_tasks += delta
+        self.bytes_shipped += nbytes
+        self.last_sweep_bytes += nbytes
+        self.last_sweep_full_tasks += full
+        self.last_sweep_delta_tasks += delta
+
+
+def _stable_slot_hash(name: str) -> int:
+    """Process- and run-stable integer hash of a layer name.
+
+    ``blake2b`` rather than ``hash()``: the builtin is salted per
+    interpreter, and the pinning map must be identical across runs and
+    across the parent/worker boundary for the affinity tests to mean
+    anything.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class AffinityMap:
+    """Deterministic layer -> worker-slot pinning for the sticky mode.
+
+    Built once per (layer list, pool width) and recomputed only when
+    either changes -- "rebalanced only on pool resize".  Each layer's
+    preferred slot is a stable content hash of its name; layers are
+    placed in insertion order and overflow to the next slot with spare
+    capacity, so the map is balanced (no slot exceeds
+    ``ceil(n_layers / n_workers)``) while staying a pure function of
+    (names, n_workers): two engines over the same model always agree.
+    """
+
+    names: tuple[str, ...]
+    n_workers: int
+    pins: dict[str, int]
+
+    @classmethod
+    def build(cls, names: Sequence[str], n_workers: int) -> "AffinityMap":
+        """Pin ``names`` (in order) onto ``n_workers`` slots, balanced."""
+        names = tuple(names)
+        n_workers = max(1, int(n_workers))
+        capacity = -(-len(names) // n_workers) if names else 0
+        load = [0] * n_workers
+        pins: dict[str, int] = {}
+        for name in names:
+            preferred = _stable_slot_hash(name) % n_workers
+            for probe in range(n_workers):
+                slot = (preferred + probe) % n_workers
+                if load[slot] < capacity:
+                    pins[name] = slot
+                    load[slot] += 1
+                    break
+        return cls(names=names, n_workers=n_workers, pins=pins)
+
+    def layers_for(self, slot: int) -> list[str]:
+        """The layer names pinned to ``slot``, in insertion order."""
+        return [name for name in self.names if self.pins[name] == slot]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WorkerStepCache:
+    """One pinned layer's worker-resident state.
+
+    The clusterer owns the layer's :class:`~repro.core.fastpath.
+    StepCache` (uniquify products, carried attention table, counters);
+    the lease keeps the layer's shared-memory weight view mapped between
+    sweeps.  ``epoch`` is the (handle, config) generation the entry was
+    installed at -- a delta quoting a different epoch is stale.
+    ``shipped_table`` remembers the exact table object last sent home so
+    unchanged tables are not re-pickled every sweep.
+    """
+
+    clusterer: DKMClusterer
+    lease: ShmLease
+    handle: ShmTensorHandle
+    epoch: int
+    tick: int = 0
+    shipped_table: "np.ndarray | None" = None
+
+
+class WorkerCacheRegistry:
+    """Per-worker registry of resident layer caches (sticky affinity).
+
+    Lives as a process-global in each pool worker (one registry per
+    worker process); the parent never touches it.  ``run`` executes one
+    task -- installing or resuming the layer's :class:`WorkerStepCache`
+    -- and returns the outcome with *delta* counters, snapshotting the
+    resident cache's stats around the op so cumulative worker-local
+    counters never double-count in the parent's merge.
+
+    ``bytes_limit`` (``CompressorConfig.worker_cache_bytes_limit``)
+    bounds the resident products: when the registry exceeds it, the
+    least-recently-used layers' uniquify products and tables are evicted
+    down to *phantom* entries (:meth:`~repro.core.fastpath.StepCache.
+    evict_products`), which preserves hit/miss semantics and merely costs
+    a recompute on next use.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, WorkerStepCache] = {}
+        self._leases = ShmLeaseRegistry()
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def run(
+        self,
+        fn,
+        task: "LayerTask | LayerDelta",
+        kwargs: dict,
+        bytes_limit: int = 0,
+    ) -> LayerOutcome:
+        """Execute one sweep op against the (installed or resident) layer."""
+        self._clock += 1
+        if isinstance(task, LayerDelta):
+            entry = self._resume(task)
+        else:
+            entry = self._install(task)
+        entry.tick = self._clock
+        clusterer = entry.clusterer
+        tensor = entry.lease.tensor
+        assert tensor is not None  # the registry never holds closed leases
+        before = clusterer.fastpath.stats.merge(FastPathStats())
+        result = fn(clusterer, tensor, **kwargs)
+        stats = clusterer.fastpath.stats.diff(before)
+        peeked = clusterer.fastpath.peek_table()
+        table = None
+        if peeked is not None and peeked[2] is not entry.shipped_table:
+            table = peeked
+            entry.shipped_table = peeked[2]
+        outcome = LayerOutcome(
+            name=task.name,
+            result=result,
+            state=clusterer.state,
+            stats=stats,
+            table=table,
+        )
+        if bytes_limit > 0:
+            self.enforce_limit(bytes_limit)
+        return outcome
+
+    def _install(self, task: LayerTask) -> WorkerStepCache:
+        """(Re)build the layer's entry from a full task."""
+        lease = self._leases.acquire(task.name, task.handle)
+        clusterer = DKMClusterer(task.dkm_config)
+        clusterer.state = task.state
+        if task.warm:
+            clusterer.fastpath.mark_computed(
+                lease.tensor, task.dkm_config.weight_dtype
+            )
+        entry = WorkerStepCache(
+            clusterer=clusterer, lease=lease, handle=task.handle, epoch=task.epoch
+        )
+        self._entries[task.name] = entry
+        return entry
+
+    def _resume(self, task: LayerDelta) -> WorkerStepCache:
+        """Validate and refresh the resident entry a delta addresses."""
+        entry = self._entries.get(task.name)
+        if entry is None:
+            raise StaleWorkerCache(f"layer {task.name!r} not resident in worker")
+        if entry.epoch != task.epoch:
+            raise StaleWorkerCache(
+                f"layer {task.name!r}: resident epoch {entry.epoch} != "
+                f"delta epoch {task.epoch}"
+            )
+        if entry.handle.version != task.version:
+            raise StaleWorkerCache(
+                f"layer {task.name!r}: resident storage version "
+                f"{entry.handle.version} != delta version {task.version}"
+            )
+        clusterer = entry.clusterer
+        clusterer.state = task.state
+        if task.warm:
+            clusterer.fastpath.mark_computed(
+                entry.lease.tensor, clusterer.config.weight_dtype
+            )
+        else:
+            # The parent dropped its entry (release_step_caches or an
+            # explicit invalidate): mirror the serial miss-and-recompute.
+            clusterer.fastpath.invalidate()
+        return entry
+
+    def prune(self, retain: "Sequence[str]") -> None:
+        """Drop every entry (and its pinned lease) not named in ``retain``.
+
+        The parent sends each batch with the slot's *current* pinned
+        layer set, so a layer re-pinned elsewhere -- or removed from the
+        model -- releases its worker-side cache and shm mapping on the
+        old worker's next batch instead of lingering for the engine's
+        lifetime.
+        """
+        keep = set(retain)
+        for name in [n for n in self._entries if n not in keep]:
+            del self._entries[name]
+            self._leases.release(name)
+
+    def resident_bytes(self) -> int:
+        """Total resident product bytes across all entries."""
+        return sum(
+            entry.clusterer.fastpath.resident_bytes()
+            for entry in self._entries.values()
+        )
+
+    def enforce_limit(self, bytes_limit: int) -> None:
+        """Evict LRU layers' products until at or under ``bytes_limit``."""
+        total = self.resident_bytes()
+        if total <= bytes_limit:
+            return
+        for entry in sorted(self._entries.values(), key=lambda e: e.tick):
+            total -= entry.clusterer.fastpath.evict_products()
+            entry.shipped_table = None
+            if total <= bytes_limit:
+                break
+
+    def close(self) -> None:
+        """Drop every entry and release every pinned lease."""
+        self._entries.clear()
+        self._leases.close_all()
+
+
+_WORKER_REGISTRY: WorkerCacheRegistry | None = None
+
+
+def _worker_cache_registry() -> WorkerCacheRegistry:
+    """The process-global registry (created on a worker's first batch).
+
+    Registered with ``atexit`` so a worker drains its pinned leases (the
+    numpy views over shared pages) before the interpreter tears the
+    mappings down -- otherwise ``SharedMemory.__del__`` trips over the
+    still-exported buffers and warns at every pool shutdown.
+    """
+    global _WORKER_REGISTRY
+    if _WORKER_REGISTRY is None:
+        _WORKER_REGISTRY = WorkerCacheRegistry()
+        atexit.register(_WORKER_REGISTRY.close)
+    return _WORKER_REGISTRY
+
+
+def _run_sticky_batch(
+    op: str,
+    kwargs: dict,
+    tasks: "list[LayerTask | LayerDelta]",
+    bytes_limit: int,
+    retain: "tuple[str, ...] | None" = None,
+) -> list[LayerOutcome]:
+    """Worker entry point for one sticky slot's per-sweep batch.
+
+    ``retain`` is the slot's current pinned layer set; anything else
+    resident in this worker is released first (re-pinned or removed
+    layers must not leak caches and shm mappings).  Top-level (picklable
+    by reference) so the spawn context resolves it by import; the op
+    table is imported lazily to keep the compressor -> procpool import
+    edge one-directional at module load time.
+    """
+    from repro.core.compressor import SWEEP_OPS
+
+    fn = SWEEP_OPS[op]
+    registry = _worker_cache_registry()
+    if retain is not None:
+        registry.prune(retain)
+    return [registry.run(fn, task, kwargs, bytes_limit) for task in tasks]
+
+
 def _run_one(fn, task: LayerTask, kwargs: dict) -> LayerOutcome:
-    """Execute one layer task against its shm view; copy results out.
+    """Execute one layer task transiently (chunked mode); copy results out.
 
     Runs in the worker process.  The lease is closed before returning, so
     nothing referencing the shared pages survives into the pickled
@@ -128,29 +509,41 @@ def _run_one(fn, task: LayerTask, kwargs: dict) -> LayerOutcome:
 
 
 def _run_layer_batch(op: str, kwargs: dict, tasks: list[LayerTask]) -> list[LayerOutcome]:
-    """Worker entry point: run a batch of layer tasks for one sweep op.
-
-    Top-level (picklable by reference) so the spawn context can resolve it
-    by import.  The op table lives in :mod:`repro.core.compressor` and is
-    imported lazily here to keep the compressor -> procpool import edge
-    one-directional at module load time.
-    """
+    """Worker entry point: run a batch of transient layer tasks (chunked)."""
     from repro.core.compressor import SWEEP_OPS
 
     fn = SWEEP_OPS[op]
     return [_run_one(fn, task, kwargs) for task in tasks]
 
 
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SyncRecord:
+    """What the parent believes one worker holds for one layer."""
+
+    slot: int
+    shm_name: str
+    version: int
+    epoch: int
+    config: DKMConfig  # snapshot copy; detects in-place config edits
+
+
 def _teardown(state: dict) -> None:
-    """Shut the pool down and unlink every export.  Idempotent.
+    """Shut every pool down and unlink every export.  Idempotent.
 
     Module-level so ``weakref.finalize`` can run it after the engine is
     gone; ``state`` is the engine's mutable holder, shared by reference.
     """
-    pool = state.get("pool")
+    pools = [state.get("pool")] + list(state.get("slots", []))
     state["pool"] = None
-    if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+    state["slots"] = []
+    for pool in pools:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
     exports = state["exports"]
     for export in list(exports.values()):
         export.close()
@@ -159,46 +552,89 @@ def _teardown(state: dict) -> None:
 
 
 class ProcessLayerEngine:
-    """Worker-lifecycle + shared-memory manager for the process backend.
+    """Worker-lifecycle + shared-memory + affinity manager for the backend.
 
     One engine serves one :class:`~repro.core.compressor.ModelCompressor`.
     The pool width is fixed by ``config.resolve_workers`` at the first
-    sweep and reused afterwards; weight exports are cached per layer and
-    refreshed only when the layer's storage identity or version changes
-    (i.e. after an optimizer write).  Any error escaping a sweep triggers
-    :meth:`reset`, which tears down the pool and unlinks every block
-    before re-raising -- a crashed sweep never leaks ``/dev/shm``
-    segments, and the next sweep transparently rebuilds both.
+    sweep and revisited every sweep: a width change under sticky affinity
+    tears the slots down and rebalances the :class:`AffinityMap` (the
+    only event that re-pins layers).  Weight exports are cached per layer
+    and refreshed only when the layer's storage identity or version
+    changes (i.e. after an optimizer write), which simultaneously demotes
+    the layer from delta to full shipping.  Any error escaping a sweep
+    triggers :meth:`reset`, which tears down pools, unlinks every block,
+    and forgets every sync record before re-raising -- a crashed sweep
+    never leaks ``/dev/shm`` segments and never trusts stale ``(storage,
+    version)`` keys, and the next sweep transparently rebuilds all three.
     """
 
     def __init__(self, config: CompressorConfig) -> None:
         self.config = config
         # Mutable holder shared with the GC finalizer: "pool" is the live
-        # executor, "exports" maps layer name -> ShmExport, "export_refs"
+        # chunked-mode executor, "slots" the sticky-mode single-worker
+        # executors, "exports" maps layer name -> ShmExport, "export_refs"
         # maps layer name -> weakref to the exported Storage (identity
         # validation; ids can be recycled after garbage collection).
-        self._state: dict = {"pool": None, "exports": {}, "export_refs": {}}
+        self._state: dict = {
+            "pool": None,
+            "slots": [],
+            "exports": {},
+            "export_refs": {},
+        }
+        self.transport = TransportStats()
+        self._affinity: AffinityMap | None = None
+        self._sync: dict[str, _SyncRecord] = {}
+        self._epochs: dict[str, int] = {}
         self._finalizer = weakref.finalize(self, _teardown, self._state)
 
     # -- lifecycle ------------------------------------------------------
+
+    def _mp_context(self):
+        return get_context(self.config.mp_context)
 
     def _ensure_pool(self, n_tasks: int) -> ProcessPoolExecutor:
         pool = self._state["pool"]
         if pool is None:
             pool = ProcessPoolExecutor(
                 max_workers=self.config.resolve_workers(n_tasks),
-                mp_context=get_context(self.config.mp_context),
+                mp_context=self._mp_context(),
             )
             self._state["pool"] = pool
         return pool
 
+    def _ensure_slots(self, n_workers: int) -> None:
+        """Sticky slots at the requested width; resize drops all state."""
+        slots = self._state["slots"]
+        if len(slots) == n_workers:
+            return
+        for pool in slots:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._state["slots"] = [
+            ProcessPoolExecutor(max_workers=1, mp_context=self._mp_context())
+            for _ in range(n_workers)
+        ]
+        self._sync.clear()
+        self._affinity = None
+
+    def _respawn_slot(self, slot: int) -> None:
+        """Replace one dead slot worker; its layers go back to full ships."""
+        slots = self._state["slots"]
+        slots[slot].shutdown(wait=False, cancel_futures=True)
+        slots[slot] = ProcessPoolExecutor(
+            max_workers=1, mp_context=self._mp_context()
+        )
+        for name in [n for n, rec in self._sync.items() if rec.slot == slot]:
+            del self._sync[name]
+
     def reset(self) -> None:
-        """Tear down pool and exports; the engine stays usable."""
+        """Tear down pools, exports, and sync records; engine stays usable."""
         _teardown(self._state)
+        self._sync.clear()
+        self._affinity = None
 
     def close(self) -> None:
-        """Tear down pool and exports (idempotent; engine reusable)."""
-        _teardown(self._state)
+        """Tear down pools, exports, and sync records (idempotent)."""
+        self.reset()
 
     def __enter__(self) -> "ProcessLayerEngine":
         return self
@@ -209,6 +645,10 @@ class ProcessLayerEngine:
     def active_shm_names(self) -> list[str]:
         """Names of currently-linked shared-memory blocks (for audits)."""
         return [export.name for export in self._state["exports"].values()]
+
+    def affinity_map(self) -> AffinityMap | None:
+        """The current pinning map (``None`` before the first sticky sweep)."""
+        return self._affinity
 
     # -- weight export cache --------------------------------------------
 
@@ -249,33 +689,240 @@ class ProcessLayerEngine:
 
         ``layers`` is ``(name, clusterer, weight)`` per layer.  The
         clusterer is only read on the parent side (state snapshot + warm
-        token); the worker builds its own from the pickled task.  On any
-        failure -- a worker exception, a broken pool, a poisoned export --
-        the engine is :meth:`reset` before the error propagates.
+        token); the worker builds or resumes its own from the shipped
+        task.  On any failure the sticky path cannot absorb (a worker
+        exception that is not a crash or a stale-cache miss, a poisoned
+        export, a double fault), the engine is :meth:`reset` before the
+        error propagates.
         """
-        tasks = []
         try:
-            for name, clusterer, weights in layers:
-                state = clusterer.state
-                tasks.append(
-                    LayerTask(
-                        name=name,
-                        handle=self._export_weight(name, weights),
-                        dkm_config=clusterer.config,
-                        state=state,
-                        warm=clusterer.fastpath.is_warm(
-                            weights, clusterer.config.weight_dtype
-                        ),
-                    )
-                )
-            pool = self._ensure_pool(len(tasks))
-            chunk = self.config.resolve_task_chunk(len(tasks))
-            futures = [
-                pool.submit(_run_layer_batch, op, kwargs, tasks[i : i + chunk])
-                for i in range(0, len(tasks), chunk)
-            ]
-            outcomes = [outcome for future in futures for outcome in future.result()]
+            if self.config.affinity == "sticky":
+                outcomes = self._map_sticky(op, layers, kwargs)
+            else:
+                outcomes = self._map_chunked(op, layers, kwargs)
         except BaseException:
             self.reset()
             raise
         return {outcome.name: outcome for outcome in outcomes}
+
+    # -- chunked mode ---------------------------------------------------
+
+    def _map_chunked(self, op, layers, kwargs) -> list[LayerOutcome]:
+        self.transport.begin_sweep()
+        tasks = []
+        for name, clusterer, weights in layers:
+            tasks.append(
+                LayerTask(
+                    name=name,
+                    handle=self._export_weight(name, weights),
+                    dkm_config=clusterer.config,
+                    state=clusterer.state,
+                    warm=clusterer.fastpath.is_warm(
+                        weights, clusterer.config.weight_dtype
+                    ),
+                )
+            )
+        pool = self._ensure_pool(len(tasks))
+        chunk = self.config.resolve_task_chunk(len(tasks))
+        futures = []
+        for i in range(0, len(tasks), chunk):
+            batch = tasks[i : i + chunk]
+            self.transport.record_batch(batch)
+            futures.append(pool.submit(_run_layer_batch, op, kwargs, batch))
+        return [outcome for future in futures for outcome in future.result()]
+
+    # -- sticky mode ----------------------------------------------------
+
+    def _next_epoch(self, name: str) -> int:
+        epoch = self._epochs.get(name, 0) + 1
+        self._epochs[name] = epoch
+        return epoch
+
+    def _full_task(
+        self,
+        name: str,
+        clusterer: DKMClusterer,
+        weights: "Tensor",
+        handle: ShmTensorHandle,
+        slot: int,
+    ) -> LayerTask:
+        """A full shipment, optimistically recorded as synced.
+
+        Recording before the sweep completes is safe: every failure path
+        that could leave the worker out of step either re-ships full
+        (slot retry) or ends in :meth:`reset`, which forgets the record.
+        """
+        epoch = self._next_epoch(name)
+        self._sync[name] = _SyncRecord(
+            slot=slot,
+            shm_name=handle.shm_name,
+            version=handle.version,
+            epoch=epoch,
+            config=replace(clusterer.config),
+        )
+        return LayerTask(
+            name=name,
+            handle=handle,
+            dkm_config=clusterer.config,
+            state=clusterer.state,
+            warm=clusterer.fastpath.is_warm(weights, clusterer.config.weight_dtype),
+            epoch=epoch,
+        )
+
+    def _build_task(
+        self,
+        name: str,
+        clusterer: DKMClusterer,
+        weights: "Tensor",
+        handle: ShmTensorHandle,
+        slot: int,
+    ) -> "LayerTask | LayerDelta":
+        """Delta when the sync record still matches reality, else full."""
+        rec = self._sync.get(name)
+        if (
+            rec is not None
+            and rec.slot == slot
+            and rec.shm_name == handle.shm_name
+            and rec.version == handle.version
+            and rec.config == clusterer.config
+        ):
+            return LayerDelta(
+                name=name,
+                version=handle.version,
+                epoch=rec.epoch,
+                state=clusterer.state,
+                warm=clusterer.fastpath.is_warm(
+                    weights, clusterer.config.weight_dtype
+                ),
+            )
+        return self._full_task(name, clusterer, weights, handle, slot)
+
+    def _submit_slot(
+        self,
+        slot: int,
+        op: str,
+        kwargs: dict,
+        batch: list,
+        retain: "tuple[str, ...] | None" = None,
+    ) -> "Future | None":
+        """Submit one slot batch; ``None`` signals a dead worker (retry)."""
+        try:
+            return self._state["slots"][slot].submit(
+                _run_sticky_batch,
+                op,
+                kwargs,
+                batch,
+                self.config.worker_cache_bytes_limit,
+                retain,
+            )
+        except BrokenExecutor:
+            return None
+
+    def _map_sticky(self, op, layers, kwargs) -> list[LayerOutcome]:
+        n_workers = self.config.resolve_workers(len(layers))
+        self._ensure_slots(n_workers)
+        names = tuple(name for name, _, _ in layers)
+        amap = self._affinity
+        prune_only_slots: set[int] = set()
+        if amap is None or amap.names != names or amap.n_workers != n_workers:
+            # A layer-set change at the same width keeps the live workers:
+            # any slot can hold entries for re-pinned/removed layers, so
+            # every slot must at least receive a prune message this sweep.
+            if amap is not None and amap.n_workers == n_workers:
+                prune_only_slots = set(range(n_workers))
+            self._affinity = amap = AffinityMap.build(names, n_workers)
+            # A record for a re-pinned layer points at a worker that no
+            # longer owns it; drop it so the new owner gets a full task.
+            for name in [
+                n for n, rec in self._sync.items() if amap.pins.get(n) != rec.slot
+            ]:
+                del self._sync[name]
+        self.transport.begin_sweep()
+        spec: dict[str, tuple] = {}
+        batches: list[list] = [[] for _ in range(n_workers)]
+        for name, clusterer, weights in layers:
+            handle = self._export_weight(name, weights)
+            slot = amap.pins[name]
+            spec[name] = (clusterer, weights, handle)
+            batches[slot].append(
+                self._build_task(name, clusterer, weights, handle, slot)
+            )
+        futures: list["Future | None"] = []
+        for slot in range(n_workers):
+            if not batches[slot]:
+                # No work for this slot; still flush stale residents if
+                # the pin map just changed under live workers.
+                future = None
+                if slot in prune_only_slots:
+                    future = self._submit_slot(slot, op, kwargs, [], retain=())
+                futures.append(future)
+                continue
+            self.transport.record_batch(batches[slot])
+            futures.append(
+                self._submit_slot(
+                    slot, op, kwargs, batches[slot],
+                    retain=tuple(amap.layers_for(slot)),
+                )
+            )
+        by_name: dict[str, LayerOutcome] = {}
+        for slot in range(n_workers):
+            if not batches[slot]:
+                future = futures[slot]
+                if future is not None:
+                    try:
+                        future.result()
+                    except (BrokenExecutor, StaleWorkerCache):
+                        pass  # a dead worker has nothing resident to prune
+                continue
+            future = futures[slot]
+            outcomes: list[LayerOutcome] | None = None
+            if future is not None:
+                try:
+                    outcomes = future.result()
+                except BrokenExecutor:
+                    outcomes = None
+                except StaleWorkerCache:
+                    # Worker alive but out of step: re-ship full, no respawn.
+                    outcomes = self._retry_slot(
+                        slot, op, kwargs, batches[slot], spec, respawn=False
+                    )
+            if outcomes is None:
+                # Worker died (at submit or mid-batch): respawn + full.
+                outcomes = self._retry_slot(
+                    slot, op, kwargs, batches[slot], spec, respawn=True
+                )
+            for outcome in outcomes:
+                by_name[outcome.name] = outcome
+        return [by_name[name] for name in names]
+
+    def _retry_slot(
+        self,
+        slot: int,
+        op: str,
+        kwargs: dict,
+        batch: list,
+        spec: dict,
+        respawn: bool,
+    ) -> list[LayerOutcome]:
+        """Second (and last) attempt for one slot, everything shipped full.
+
+        A second failure propagates -- ``map_layers`` resets the engine.
+        """
+        if respawn:
+            self._respawn_slot(slot)
+        full_batch = []
+        for task in batch:
+            clusterer, weights, handle = spec[task.name]
+            full_batch.append(
+                self._full_task(task.name, clusterer, weights, handle, slot)
+            )
+        self.transport.record_batch(full_batch)
+        retain = None
+        if self._affinity is not None:
+            retain = tuple(self._affinity.layers_for(slot))
+        future = self._submit_slot(slot, op, kwargs, full_batch, retain=retain)
+        if future is None:
+            raise BrokenExecutor(
+                f"sticky slot {slot} worker died again immediately after respawn"
+            )
+        return future.result()

@@ -18,8 +18,10 @@ Lifecycle rules of the codec (enforced by :class:`ShmExport` /
 :class:`ShmLease`):
 
 - the exporter owns the block: ``ShmExport.close()`` unmaps *and unlinks*
-  it; every attach is transient, read-only, and must be closed by the
-  worker.
+  it; every attach is read-only and must be closed by the worker --
+  either transiently per task, or held *pinned* across tasks through a
+  :class:`ShmLeaseRegistry`, which re-attaches automatically when the
+  exporter rotates a block.
 - attaching never takes resource-tracker *ownership* of the block
   (``track=False`` on Python >= 3.13; on older interpreters the attach's
   registration is harmless because workers share the exporter's tracker
@@ -289,6 +291,55 @@ def attach_tensor_shm(handle: ShmTensorHandle) -> ShmLease:
     """
     _sweep_deferred_closes()
     return ShmLease(handle)
+
+
+class ShmLeaseRegistry:
+    """Long-lived lease pool keyed by a caller-chosen identity.
+
+    The transient attach/compute/close pattern re-maps a layer's pages on
+    every task; a *pinned* worker instead holds one lease per assigned
+    layer across sweeps.  ``acquire`` hands back the held lease while the
+    exported handle is unchanged (same block name, version, and view
+    metadata -- the frozen-dataclass equality of
+    :class:`ShmTensorHandle`), and transparently closes + re-attaches
+    when the exporter rotated the block (an optimizer write re-exported
+    the weight).  A key whose old block was unlinked under us still
+    re-attaches cleanly: the held mapping keeps the dead block's pages
+    alive only for this process and is released on rotation.
+
+    Not thread-safe -- a process-pool worker services one task at a time,
+    which is the intended habitat.  ``close_all`` releases every mapping
+    (worker shutdown / engine reset).
+    """
+
+    def __init__(self) -> None:
+        self._leases: dict[str, ShmLease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def acquire(self, key: str, handle: ShmTensorHandle) -> ShmLease:
+        """The lease for ``key``, reused while ``handle`` is unchanged."""
+        held = self._leases.get(key)
+        if held is not None:
+            if held.handle == handle and held.tensor is not None:
+                return held
+            held.close()
+            del self._leases[key]
+        lease = attach_tensor_shm(handle)
+        self._leases[key] = lease
+        return lease
+
+    def release(self, key: str) -> None:
+        """Close and forget ``key``'s lease (missing keys are a no-op)."""
+        held = self._leases.pop(key, None)
+        if held is not None:
+            held.close()
+
+    def close_all(self) -> None:
+        """Release every held lease.  Idempotent."""
+        for key in list(self._leases):
+            self.release(key)
 
 
 def materialize_shm(handle: ShmTensorHandle) -> np.ndarray:

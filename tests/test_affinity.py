@@ -1,0 +1,509 @@
+"""Sticky worker-affinity tests (see ``repro/core/procpool.py``).
+
+The contract under test: ``backend="process", affinity="sticky"`` pins
+each layer to one worker deterministically, keeps worker-side step caches
+and shm leases resident across sweeps, ships ``O(k)`` deltas instead of
+full tasks once a layer is synced -- and stays *bit-identical* to the
+serial backend (centroids, assignments, reconstruction errors, gradients,
+and per-layer ``FastPathStats`` counters) through warm sweeps, pool
+rebalances, worker crashes, stale-cache recoveries, and sweep errors.
+"""
+
+import dataclasses
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import (
+    AffinityMap,
+    CompressorConfig,
+    DKMConfig,
+    LayerDelta,
+    LayerTask,
+    ModelCompressor,
+    WorkerCacheRegistry,
+)
+from repro.core.compressor import SWEEP_OPS
+from repro.core.procpool import StaleWorkerCache
+from repro.tensor.dtype import bfloat16
+from repro.tensor.serialization import export_tensor_shm
+from repro.tensor.tensor import Tensor
+
+
+class _Stack(nn.Module):
+    def __init__(self, n_layers=4, in_f=32, out_f=24, seed=0):
+        super().__init__()
+        for i in range(n_layers):
+            setattr(
+                self,
+                f"layer{i}",
+                nn.Linear(in_f, out_f, bias=False, rng=np.random.default_rng(seed + i)),
+            )
+
+
+def _compressor(backend, num_workers=2, n_layers=4, seed=0, **config_kwargs):
+    stack = _Stack(n_layers=n_layers, seed=seed)
+    stack.to("gpu")
+    compressor = ModelCompressor(
+        DKMConfig(bits=3, iters=3),
+        config=CompressorConfig(
+            backend=backend, num_workers=num_workers, **config_kwargs
+        ),
+    )
+    compressor.compress(stack)
+    return compressor, stack
+
+
+def _stats(compressor):
+    return {
+        name: dataclasses.asdict(wrapper.step_cache.stats)
+        for name, wrapper in compressor.wrapped.items()
+    }
+
+
+def _assert_results_equal(reference, candidate):
+    assert list(reference) == list(candidate)
+    for name in reference:
+        assert np.array_equal(reference[name].centroids, candidate[name].centroids), name
+        assert np.array_equal(reference[name].assignments, candidate[name].assignments)
+        assert reference[name].temperature == candidate[name].temperature
+        assert (
+            reference[name].reconstruction_error
+            == candidate[name].reconstruction_error
+        )
+
+
+def _assert_all_unlinked(names):
+    assert names
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestAffinityMap:
+    def test_deterministic_across_builds(self):
+        names = [f"block{i}.linear" for i in range(7)]
+        assert AffinityMap.build(names, 3) == AffinityMap.build(names, 3)
+        assert AffinityMap.build(names, 3).pins == AffinityMap.build(list(names), 3).pins
+
+    def test_balanced_within_capacity(self):
+        names = [f"layer{i}" for i in range(10)]
+        for workers in (1, 2, 3, 4, 7):
+            amap = AffinityMap.build(names, workers)
+            loads = [len(amap.layers_for(slot)) for slot in range(workers)]
+            assert sum(loads) == len(names)
+            assert max(loads) <= -(-len(names) // workers)  # ceil capacity
+
+    def test_layers_for_partitions_in_insertion_order(self):
+        names = [f"layer{i}" for i in range(6)]
+        amap = AffinityMap.build(names, 2)
+        merged = sorted(
+            (name for slot in range(2) for name in amap.layers_for(slot)),
+            key=names.index,
+        )
+        assert merged == names
+        for slot in range(2):
+            pinned = amap.layers_for(slot)
+            assert pinned == [n for n in names if n in set(pinned)]  # order kept
+
+    def test_resize_is_the_only_rebalance_trigger(self):
+        names = [f"layer{i}" for i in range(8)]
+        assert AffinityMap.build(names, 2) == AffinityMap.build(names, 2)
+        wide = AffinityMap.build(names, 4)
+        assert wide.n_workers == 4
+        assert {wide.pins[n] for n in names} <= set(range(4))
+
+
+class TestWorkerCacheRegistry:
+    """In-process exercises of the worker-side cache (no pool spawn)."""
+
+    def _task(self, seed=0, warm=False, epoch=1, n=512):
+        values = np.random.default_rng(seed).standard_normal(n).astype(np.float32)
+        tensor = Tensor.from_numpy(values * 0.1, dtype=bfloat16)
+        export = export_tensor_shm(tensor)
+        task = LayerTask(
+            name="layer0",
+            handle=export.handle,
+            dkm_config=DKMConfig(bits=3, iters=2),
+            state=None,
+            warm=warm,
+            epoch=epoch,
+        )
+        return export, task
+
+    def test_full_then_delta_reuses_resident_cache(self):
+        export, task = self._task()
+        registry = WorkerCacheRegistry()
+        try:
+            first = registry.run(SWEEP_OPS["refine"], task, {})
+            assert first.stats.uniquify_misses == 1
+            lease = registry._entries["layer0"].lease
+            delta = LayerDelta(
+                name="layer0",
+                version=task.handle.version,
+                epoch=task.epoch,
+                state=first.state,
+                warm=True,
+            )
+            second = registry.run(SWEEP_OPS["refine"], delta, {})
+            # Resident products: a real hit with zero recompute shipped as
+            # a pure delta (first sweep's counters not double-counted).
+            assert second.stats.uniquify_hits == 1
+            assert second.stats.uniquify_misses == 0
+            assert registry._entries["layer0"].lease is lease  # pinned
+            assert np.array_equal(first.state.centroids, second.state.centroids)
+        finally:
+            registry.close()
+            export.close()
+
+    def test_cold_delta_raises_stale(self):
+        registry = WorkerCacheRegistry()
+        delta = LayerDelta(name="ghost", version=0, epoch=1, state=None, warm=False)
+        with pytest.raises(StaleWorkerCache):
+            registry.run(SWEEP_OPS["refine"], delta, {})
+
+    def test_epoch_and_version_mismatches_raise_stale(self):
+        export, task = self._task()
+        registry = WorkerCacheRegistry()
+        try:
+            outcome = registry.run(SWEEP_OPS["refine"], task, {})
+            bad_epoch = LayerDelta(
+                name="layer0",
+                version=task.handle.version,
+                epoch=task.epoch + 1,
+                state=outcome.state,
+                warm=True,
+            )
+            with pytest.raises(StaleWorkerCache, match="epoch"):
+                registry.run(SWEEP_OPS["refine"], bad_epoch, {})
+            bad_version = LayerDelta(
+                name="layer0",
+                version=task.handle.version + 1,
+                epoch=task.epoch,
+                state=outcome.state,
+                warm=True,
+            )
+            with pytest.raises(StaleWorkerCache, match="version"):
+                registry.run(SWEEP_OPS["refine"], bad_version, {})
+        finally:
+            registry.close()
+            export.close()
+
+    def test_not_warm_delta_recomputes_like_serial_miss(self):
+        export, task = self._task()
+        registry = WorkerCacheRegistry()
+        try:
+            outcome = registry.run(SWEEP_OPS["refine"], task, {})
+            delta = LayerDelta(
+                name="layer0",
+                version=task.handle.version,
+                epoch=task.epoch,
+                state=outcome.state,
+                warm=False,  # parent invalidated (release_step_caches)
+            )
+            second = registry.run(SWEEP_OPS["refine"], delta, {})
+            assert second.stats.uniquify_misses == 1
+            assert second.stats.uniquify_hits == 0
+        finally:
+            registry.close()
+            export.close()
+
+    def test_bytes_limit_evicts_to_phantom_without_counter_drift(self):
+        export, task = self._task()
+        registry = WorkerCacheRegistry()
+        try:
+            registry.run(SWEEP_OPS["refine"], task, {}, bytes_limit=1)
+            # Everything evicted down to a phantom entry...
+            assert registry.resident_bytes() == 0
+            entry = registry._entries["layer0"]
+            delta = LayerDelta(
+                name="layer0",
+                version=task.handle.version,
+                epoch=task.epoch,
+                state=entry.clusterer.state,
+                warm=True,
+            )
+            outcome = registry.run(SWEEP_OPS["refine"], delta, {}, bytes_limit=1)
+            # ...so the next sweep still counts a (phantom) hit.
+            assert outcome.stats.uniquify_hits == 1
+            assert outcome.stats.uniquify_misses == 0
+        finally:
+            registry.close()
+            export.close()
+
+    def test_prune_releases_unretained_entries_and_leases(self):
+        exports, tasks = [], []
+        for i in range(3):
+            values = np.random.default_rng(i).standard_normal(128).astype(np.float32)
+            tensor = Tensor.from_numpy(values * 0.1, dtype=bfloat16)
+            export = export_tensor_shm(tensor)
+            exports.append(export)
+            tasks.append(
+                LayerTask(
+                    name=f"layer{i}",
+                    handle=export.handle,
+                    dkm_config=DKMConfig(bits=3, iters=2),
+                    state=None,
+                    warm=False,
+                    epoch=1,
+                )
+            )
+        registry = WorkerCacheRegistry()
+        try:
+            for task in tasks:
+                registry.run(SWEEP_OPS["refine"], task, {})
+            assert len(registry) == 3
+            registry.prune(("layer0", "layer2"))  # layer1 re-pinned away
+            assert sorted(registry._entries) == ["layer0", "layer2"]
+            assert len(registry._leases) == 2
+            registry.prune(())  # slot emptied entirely
+            assert len(registry) == 0
+            assert len(registry._leases) == 0
+        finally:
+            registry.close()
+            for export in exports:
+                export.close()
+
+    def test_close_releases_leases(self):
+        export, task = self._task()
+        registry = WorkerCacheRegistry()
+        registry.run(SWEEP_OPS["refine"], task, {})
+        registry.close()
+        assert len(registry) == 0
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=task.handle.shm_name)
+
+
+class TestStickyEquivalence:
+    def test_pinning_identical_across_engines(self):
+        a, _ = _compressor("process")
+        b, _ = _compressor("process")
+        try:
+            a.precluster()
+            b.precluster()
+            assert a._engine.affinity_map() == b._engine.affinity_map()
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize("affinity", ["sticky", "chunked"])
+    def test_bit_identical_to_serial_over_two_sweeps(self, affinity):
+        serial, _ = _compressor("serial")
+        process, _ = _compressor("process", affinity=affinity)
+        try:
+            for sweep in range(2):
+                res_s = serial.precluster(compute_error=True)
+                res_p = process.precluster(compute_error=True)
+                _assert_results_equal(res_s, res_p)
+                assert _stats(serial) == _stats(process), (affinity, sweep)
+        finally:
+            process.close()
+
+    def test_training_grads_identical_after_sticky_sweeps(self):
+        serial, stack_s = _compressor("serial", n_layers=2, seed=7)
+        sticky, stack_p = _compressor("process", n_layers=2, seed=7)
+        try:
+            for _ in range(2):  # second sweep runs the delta path
+                serial.precluster()
+                sticky.precluster()
+            x = np.random.default_rng(11).standard_normal((5, 32)).astype(np.float32)
+            for stack in (stack_s, stack_p):
+                stack.train()
+                out = stack.layer0(Tensor.from_numpy(x, device="gpu"))
+                (out * out).sum().backward()
+            grad_s = stack_s.layer0.inner.weight.grad
+            grad_p = stack_p.layer0.inner.weight.grad
+            assert grad_s is not None and grad_p is not None
+            assert np.array_equal(grad_s.numpy(), grad_p.numpy())
+            assert _stats(serial) == _stats(sticky)
+        finally:
+            sticky.close()
+
+    def test_warm_sweep_ships_only_deltas_and_fewer_bytes(self):
+        sticky, _ = _compressor("process", affinity="sticky")
+        chunked, _ = _compressor("process", affinity="chunked")
+        try:
+            for compressor in (sticky, chunked):
+                compressor.precluster(compute_error=True)
+                compressor.precluster(compute_error=True)
+            t_sticky = sticky.transport_stats()
+            t_chunked = chunked.transport_stats()
+            n_layers = len(sticky.wrapped)
+            assert t_sticky.last_sweep_full_tasks == 0
+            assert t_sticky.last_sweep_delta_tasks == n_layers
+            assert t_chunked.last_sweep_full_tasks == n_layers
+            # The acceptance gate: strictly fewer pickled bytes per layer
+            # on the warm sweep.
+            assert (
+                t_sticky.last_sweep_bytes / n_layers
+                < t_chunked.last_sweep_bytes / n_layers
+            )
+        finally:
+            sticky.close()
+            chunked.close()
+
+    def test_optimizer_write_demotes_layer_to_full_shipping(self):
+        sticky, _ = _compressor("process", n_layers=2)
+        try:
+            sticky.precluster()
+            sticky.precluster()
+            assert sticky.transport_stats().last_sweep_full_tasks == 0
+            name, wrapper = next(iter(sticky.wrapped.items()))
+            wrapper.inner.weight.copy_(wrapper.inner.weight.numpy() * 0.5)
+            sticky.precluster()
+            transport = sticky.transport_stats()
+            # Exactly the written layer re-ships full; the other stays delta.
+            assert transport.last_sweep_full_tasks == 1
+            assert transport.last_sweep_delta_tasks == 1
+        finally:
+            sticky.close()
+
+    def test_worker_cache_limit_stays_bit_identical(self):
+        serial, _ = _compressor("serial")
+        limited, _ = _compressor("process", worker_cache_bytes_limit=1)
+        try:
+            for _ in range(2):
+                res_s = serial.precluster(compute_error=True)
+                res_p = limited.precluster(compute_error=True)
+                _assert_results_equal(res_s, res_p)
+            assert _stats(serial) == _stats(limited)
+        finally:
+            limited.close()
+
+
+class TestStickyResilience:
+    def _kill_one_worker(self, engine):
+        """Hard-kill the first slot worker that has a live process."""
+        for slot, pool in enumerate(engine._state["slots"]):
+            processes = list((pool._processes or {}).values())
+            if processes:
+                processes[0].kill()
+                processes[0].join()
+                return slot
+        raise AssertionError("no live slot worker to kill")
+
+    def test_worker_crash_recovers_bit_identical_with_no_leaks(self):
+        serial, _ = _compressor("serial")
+        sticky, _ = _compressor("process")
+        try:
+            serial.precluster(compute_error=True)
+            sticky.precluster(compute_error=True)
+            self._kill_one_worker(sticky._engine)
+            # The crashed slot's layers re-ship full on a respawned worker;
+            # results and counters still match a serial two-sweep history.
+            res_s = serial.precluster(compute_error=True)
+            res_p = sticky.precluster(compute_error=True)
+            _assert_results_equal(res_s, res_p)
+            assert _stats(serial) == _stats(sticky)
+            assert sticky.transport_stats().last_sweep_full_tasks > 0
+            names = sticky._engine.active_shm_names()
+            sticky.close()
+            _assert_all_unlinked(names)
+            assert sticky._engine.active_shm_names() == []
+        finally:
+            sticky.close()
+
+    def test_stale_delta_recovery_reships_full(self):
+        serial, _ = _compressor("serial", n_layers=2)
+        sticky, _ = _compressor("process", n_layers=2)
+        try:
+            serial.precluster()
+            sticky.precluster()
+            engine = sticky._engine
+            # Desynchronize the parent's records on purpose: the worker
+            # defensively raises StaleWorkerCache and the slot re-ships full.
+            for record in engine._sync.values():
+                record.epoch += 7
+            res_s = serial.precluster(compute_error=True)
+            res_p = sticky.precluster(compute_error=True)
+            _assert_results_equal(res_s, res_p)
+            assert _stats(serial) == _stats(sticky)
+        finally:
+            sticky.close()
+
+    def test_rebalance_on_pool_resize_stays_bit_identical(self):
+        serial, _ = _compressor("serial", n_layers=4)
+        sticky, _ = _compressor("process", n_layers=4, num_workers=2)
+        try:
+            serial.precluster(compute_error=True)
+            sticky.precluster(compute_error=True)
+            before = sticky._engine.affinity_map()
+            sticky.config.num_workers = 3  # pool resize: the one rebalance
+            res_s = serial.precluster(compute_error=True)
+            res_p = sticky.precluster(compute_error=True)
+            after = sticky._engine.affinity_map()
+            assert after.n_workers == 3
+            assert after != before
+            # Rebalance dropped every sync record: all layers shipped full.
+            assert sticky.transport_stats().last_sweep_full_tasks == 4
+            _assert_results_equal(res_s, res_p)
+            assert _stats(serial) == _stats(sticky)
+        finally:
+            sticky.close()
+
+    def test_layer_set_change_at_same_width_stays_correct(self):
+        """Re-pinning without a pool resize (layer set changed) must not
+        poison results: moved layers re-ship full to their new owners and
+        the old owners are told to drop them."""
+        from repro.core import DKMClusterer
+        from repro.core.procpool import ProcessLayerEngine
+
+        def layer(i):
+            values = np.random.default_rng(i).standard_normal(256).astype(np.float32)
+            tensor = Tensor.from_numpy(values * 0.1, dtype=bfloat16, device="gpu")
+            return (f"layer{i}", DKMClusterer(DKMConfig(bits=3, iters=2)), tensor)
+
+        layers_a = [layer(0), layer(1), layer(2), layer(3)]
+        layers_b = layers_a[:2] + [layer(4), layer(5)]  # two swapped out
+        config = CompressorConfig(backend="process", num_workers=2)
+        with ProcessLayerEngine(config) as engine:
+            first = engine.map_layers("refine", layers_a)
+            for name, clusterer, _ in layers_a:  # the compressor merge step
+                clusterer.state = first[name].state
+            outcomes = engine.map_layers("refine", layers_b)  # same width
+            assert list(outcomes) == [name for name, _, _ in layers_b]
+            # Serial reference over the same two-sweep history.
+            for (name, clusterer, weights), reference_layer in zip(
+                layers_b, [layer(0), layer(1), layer(4), layer(5)]
+            ):
+                ref_name, ref_clusterer, ref_weights = reference_layer
+                ref_clusterer.refine(ref_weights)
+                if name in ("layer0", "layer1"):
+                    ref_clusterer.refine(ref_weights)  # second sweep
+                assert np.array_equal(
+                    outcomes[name].state.centroids, ref_clusterer.state.centroids
+                ), name
+
+    def test_reset_reexports_instead_of_reusing_stale_keys(self):
+        """A sweep error must not leave stale (storage, version) exports
+        or sync records behind: the next sweep re-exports every layer."""
+        sticky, _ = _compressor("process", n_layers=2)
+        serial, _ = _compressor("serial", n_layers=2)
+        try:
+            sticky.precluster()
+            serial.precluster()
+            engine = sticky._engine
+            old_names = set(engine.active_shm_names())
+            assert engine._sync  # layers synced after a clean sweep
+            # Poison one export so the next sweep fails inside a worker.
+            name = next(iter(sticky.wrapped))
+            export = engine._state["exports"][name]
+            export.handle = dataclasses.replace(
+                export.handle, shm_name="repro_affinity_poisoned"
+            )
+            with pytest.raises(FileNotFoundError):
+                sticky.precluster()
+            # reset() ran: exports unlinked AND sync records forgotten.
+            assert engine.active_shm_names() == []
+            assert engine._sync == {}
+            res_p = sticky.precluster(compute_error=True)
+            res_s = serial.precluster(compute_error=True)
+            new_names = set(engine.active_shm_names())
+            assert new_names and new_names.isdisjoint(old_names)  # re-exported
+            assert sticky.transport_stats().last_sweep_full_tasks == 2
+            _assert_results_equal(res_s, res_p)
+        finally:
+            sticky.close()

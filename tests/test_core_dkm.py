@@ -152,6 +152,81 @@ class TestDensePath:
         out = clusterer.cluster_dense(w)
         assert out.shape == (16, 8)
 
+    def test_table_reuse_keeps_recording_grads_bit_identical(self):
+        """The dense fast path must never touch a grad-recording forward:
+        grads with a parked attention table equal grads without one."""
+        import repro.tensor.autograd as autograd
+
+        def grads(evict_table):
+            clusterer = DKMClusterer(DKMConfig(bits=3, iters=3))
+            w = _weight_tensor(seed=5, requires_grad=True)
+            with autograd.no_grad():
+                clusterer.cluster_dense(w)  # parks the table (fast path)
+            if evict_table:
+                clusterer.fastpath.evict_products()  # pure seed recording
+            out = clusterer.cluster_dense(w)
+            (out * out).sum().backward()
+            return w.grad.numpy()
+
+        assert np.array_equal(grads(evict_table=False), grads(evict_table=True))
+
+    def test_no_grad_single_block_served_from_table(self, monkeypatch):
+        """Under no_grad with |W| in one block, the cached table replaces
+        the whole primitive composition (no softmax is ever built)."""
+        import repro.tensor.autograd as autograd
+        import repro.tensor.ops as ops_module
+
+        calls = {"softmax": 0}
+        original = ops_module.softmax
+
+        def counting(*args, **kwargs):
+            calls["softmax"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(ops_module, "softmax", counting)
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=3))
+        w = _weight_tensor(seed=6)
+        with autograd.no_grad():
+            fast = clusterer.cluster_dense(w)
+        assert calls["softmax"] == 0
+        assert clusterer.fastpath.stats.table_hits >= 1
+        # The served values are the exact unique-space mixture.
+        unique = clusterer.fastpath.uniquify(w, clusterer.config.weight_dtype)
+        state = clusterer.state
+        from repro.core.uniquify import attention_table
+
+        table = attention_table(unique.values, state.centroids, state.temperature)
+        expected = (table @ state.centroids)[unique.index_list.astype(np.int64)]
+        np.testing.assert_allclose(
+            fast.numpy(), expected.reshape(w.shape), rtol=1e-2, atol=1e-3
+        )
+
+    def test_no_grad_multi_block_keeps_composition(self, monkeypatch):
+        """The fast path is gated to a single block: a chunked no-grad
+        call still runs the bounded-buffer primitive composition."""
+        import repro.tensor.autograd as autograd
+        import repro.tensor.ops as ops_module
+
+        calls = {"softmax": 0}
+        original = ops_module.softmax
+
+        def counting(*args, **kwargs):
+            calls["softmax"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(ops_module, "softmax", counting)
+        clusterer = DKMClusterer(DKMConfig(bits=3, iters=3))
+        w = _weight_tensor(seed=6)
+        with autograd.no_grad():
+            chunked = clusterer.cluster_dense(w, row_chunk=512)
+        assert calls["softmax"] == 4  # 2000 weights / 512 per block
+        fresh = DKMClusterer(DKMConfig(bits=3, iters=3))
+        with autograd.no_grad():
+            fast = fresh.cluster_dense(_weight_tensor(seed=6))
+        np.testing.assert_allclose(
+            fast.numpy(), chunked.numpy(), rtol=1e-2, atol=1e-3
+        )
+
     def test_saved_tensor_complexity_is_w_times_c(self):
         """The dense path saves O(|W|·|C|) tensors -- DKM's memory wall."""
         packed_bytes = []

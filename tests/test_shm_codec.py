@@ -15,6 +15,7 @@ import pytest
 
 from repro.tensor.dtype import _ALL, get_dtype
 from repro.tensor.serialization import (
+    ShmLeaseRegistry,
     ShmTensorHandle,
     attach_tensor_shm,
     export_tensor_shm,
@@ -165,3 +166,58 @@ class TestDTypePickling:
     def test_dtype_unpickles_to_interned_singleton(self, dtype_name):
         dtype = get_dtype(dtype_name)
         assert pickle.loads(pickle.dumps(dtype)) is dtype
+
+
+class TestLeaseRegistry:
+    """Long-lived pinned attachments (the sticky process backend's habit)."""
+
+    def test_acquire_reuses_lease_while_handle_unchanged(self):
+        tensor = Tensor.from_numpy(_sample_array("float32"))
+        with export_tensor_shm(tensor) as export:
+            registry = ShmLeaseRegistry()
+            try:
+                first = registry.acquire("layer0", export.handle)
+                second = registry.acquire("layer0", export.handle)
+                assert second is first  # pinned: no re-attach, no re-map
+                assert len(registry) == 1
+                assert np.array_equal(first.tensor._np(), tensor._np())
+            finally:
+                registry.close_all()
+
+    def test_acquire_rotates_lease_when_handle_changes(self):
+        tensor = Tensor.from_numpy(_sample_array("float32"))
+        registry = ShmLeaseRegistry()
+        export_a = export_tensor_shm(tensor)
+        try:
+            first = registry.acquire("layer0", export_a.handle)
+            # The exporter rotated the block (optimizer write re-export).
+            tensor.copy_(tensor.numpy() * 2.0)
+            export_b = export_tensor_shm(tensor)
+            try:
+                second = registry.acquire("layer0", export_b.handle)
+                assert second is not first
+                assert first.tensor is None  # old lease was closed
+                assert len(registry) == 1
+                assert np.array_equal(second.tensor._np(), tensor._np())
+            finally:
+                export_b.close()
+        finally:
+            registry.close_all()
+            export_a.close()
+
+    def test_close_all_releases_every_mapping(self):
+        tensors = [Tensor.from_numpy(_sample_array("float32", (4,))) for _ in range(3)]
+        exports = [export_tensor_shm(t) for t in tensors]
+        registry = ShmLeaseRegistry()
+        leases = [
+            registry.acquire(f"layer{i}", export.handle)
+            for i, export in enumerate(exports)
+        ]
+        registry.close_all()
+        assert len(registry) == 0
+        assert all(lease.tensor is None for lease in leases)
+        for export in exports:
+            export.close()
+
+    def test_release_unknown_key_is_noop(self):
+        ShmLeaseRegistry().release("never-acquired")
