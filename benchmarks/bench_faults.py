@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Chaos-suite benchmark entry point (fault injection + crash recovery).
+
+Runs the process backend's multi-sweep ``precluster`` workload under
+every injectable fault class -- worker kill, hang (watchdog), delay,
+transient op failure, corrupted delta payload, reaped shm block -- plus
+the quarantine and backend-degradation policy scenarios, and gates on
+the robustness contract: every chaotic run must end *bit-identical*
+(centroids, assignments, temperatures, per-layer step-cache counters) to
+an undisturbed serial run; every planned fault must appear in the fault
+log; every shared-memory block must be unlinked after ``close()``; and a
+run checkpointed after sweep 1, "crashed", and resumed into a fresh
+compressor must match the uninterrupted run exactly.  Recovery wall-time
+overhead is reported but not gated (respawn cost is host-dependent).
+Writes ``benchmarks/results/BENCH_faults.json`` (schema:
+``docs/benchmarks.md``).
+
+    PYTHONPATH=src python benchmarks/bench_faults.py          # full
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.faults import run_faults  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_faults.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller layers + tighter watchdog (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    features = 48 if args.quick else 96
+    result = run_faults(
+        n_layers=args.layers,
+        in_features=features,
+        out_features=features,
+        workers=args.workers,
+        seed=args.seed,
+        watchdog_s=1.0 if args.quick else 2.0,
+    )
+
+    payload = result.to_json_dict()
+    failures: list[str] = []
+    for row in payload["rows"]:
+        overhead = row["recovery_overhead_seconds"]
+        print(
+            f"{row['scenario']:<14} ({'+'.join(row['kinds'])}) "
+            f"{row['wall_seconds']:.3f}s ({overhead:+.3f}s vs clean)  "
+            f"faults={row['faults_logged']} respawns={row['respawns']} "
+            f"quarantined={row['quarantined']} "
+            f"degraded_to={row['degraded_to'] or '-'}  "
+            f"bit-identical={row['bit_identical']}  "
+            f"stats-identical={row['stats_identical']}"
+        )
+        if not row["bit_identical"]:
+            failures.append(
+                f"{row['scenario']}: outputs differ from undisturbed serial run"
+            )
+        if not row["stats_identical"]:
+            failures.append(
+                f"{row['scenario']}: step-cache counters differ from serial"
+            )
+        if not row["log_reconciled"]:
+            failures.append(
+                f"{row['scenario']}: planned fault kind(s) "
+                f"{row['kinds']} never appeared in the fault log"
+            )
+        if not row["shm_cleaned"]:
+            failures.append(
+                f"{row['scenario']}: shared-memory blocks left linked"
+            )
+        if not row["expectation_met"]:
+            failures.append(
+                f"{row['scenario']}: expected recovery action "
+                "(respawn/quarantine/degrade) did not happen"
+            )
+    resume = payload["resume"]
+    print(
+        f"resume: checkpoint@sweep {resume['sweeps_completed_at_checkpoint']} "
+        f"digest={resume['checkpoint_digest'][:12]}...  "
+        f"bit-identical={resume['bit_identical']}  "
+        f"stats-identical={resume['stats_identical']}"
+    )
+    if not resume["bit_identical"]:
+        failures.append(
+            "kill-then-resume: final outputs differ from uninterrupted run"
+        )
+    if not resume["stats_identical"]:
+        failures.append(
+            "kill-then-resume: step-cache counters differ from "
+            "uninterrupted run"
+        )
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all chaos assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

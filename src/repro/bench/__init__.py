@@ -13,6 +13,8 @@ pytest-benchmark entry points and prints paper-style tables.
   (histogram uniquify, bincount scatter, per-layer step cache)
 - :mod:`repro.bench.marshal_strategies` -- marshal search-strategy
   ablation (graph walk vs storage-id oracle vs sampled-stride fingerprint)
+- :mod:`repro.bench.faults` -- chaos suite (fault injection, watchdog,
+  quarantine, degradation, crash-safe checkpoint/resume)
 """
 
 from repro.bench.claims import Claim, run_claims
@@ -23,6 +25,13 @@ from repro.bench.fastpath import (
     StepBenchRow,
     UniquifyBenchRow,
     run_fastpath,
+)
+from repro.bench.faults import (
+    FaultBenchResult,
+    FaultRow,
+    FaultScenario,
+    default_scenarios,
+    run_faults,
 )
 from repro.bench.fig2 import Fig2Result, run_fig2, run_hop_budget_sweep
 from repro.bench.marshal_strategies import (
@@ -58,6 +67,11 @@ __all__ = [
     "StepBenchRow",
     "UniquifyBenchRow",
     "run_fastpath",
+    "FaultBenchResult",
+    "FaultRow",
+    "FaultScenario",
+    "default_scenarios",
+    "run_faults",
     "Fig2Result",
     "run_fig2",
     "run_hop_budget_sweep",

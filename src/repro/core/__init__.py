@@ -15,8 +15,21 @@ Public surface:
   process-pool per-layer backends configured by :class:`CompressorConfig`
   (the process backend ships zero-copy shared-memory weight views to its
   workers via :class:`ProcessLayerEngine`).
+- :class:`FaultPlan` / :class:`FaultInjector` plus the checkpoint layer
+  (:func:`write_checkpoint` / :func:`load_checkpoint`) -- the robustness
+  surface: deterministic chaos injection, watchdog/retry/quarantine
+  recovery, crash-safe checkpoint/resume, and graceful backend
+  degradation (see ``docs/robustness.md``).
 """
 
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointCorrupt,
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.core.config import (
     AFFINITY_MODES,
     BACKENDS,
@@ -24,6 +37,19 @@ from repro.core.config import (
     DKMConfig,
     EDKMConfig,
     PipelineStats,
+)
+from repro.core.faults import (
+    FAULT_KINDS,
+    CorruptPayload,
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    PoolExhausted,
+    RobustnessWarning,
+    TransientWorkerError,
+    WatchdogTimeout,
 )
 from repro.core.compressor import (
     ClusteredLinear,
@@ -84,6 +110,23 @@ from repro.core.uniquify import (
 __all__ = [
     "AFFINITY_MODES",
     "BACKENDS",
+    "CHECKPOINT_VERSION",
+    "CheckpointCorrupt",
+    "CheckpointError",
+    "load_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+    "FAULT_KINDS",
+    "CorruptPayload",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolExhausted",
+    "RobustnessWarning",
+    "TransientWorkerError",
+    "WatchdogTimeout",
     "CompressorConfig",
     "DKMConfig",
     "EDKMConfig",

@@ -44,7 +44,8 @@ to corruption (see ``StepCache``).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
 
@@ -54,13 +55,30 @@ from repro.core.config import CompressorConfig, DKMConfig, EDKMConfig
 from repro.core.dkm import ClusterState, DKMClusterer
 from repro.core.edkm import cluster
 from repro.core.fastpath import FastPathReport, FastPathStats, StepCache
+from repro.core.faults import (
+    PoolExhausted,
+    RobustnessWarning,
+    WatchdogTimeout,
+)
 from repro.core.palettize import PalettizedTensor, kmeans_palettize
 from repro.nn.linear import Embedding, Linear
 from repro.nn.module import Module
+from repro.tensor.serialization import ShmLost
 from repro.tensor.tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.faults import FaultLog
     from repro.core.procpool import ProcessLayerEngine, TransportStats
+
+_DEGRADATION_LADDER = {"process": "thread", "thread": "serial"}
+"""Backend demotion order: each infrastructure-class sweep failure steps
+one rung down; ``serial`` is the floor and its errors always propagate."""
+
+_INFRA_FAILURES = (PoolExhausted, WatchdogTimeout, BrokenExecutor, ShmLost)
+"""Sweep-level failures that indicate broken *infrastructure* (pools, shm,
+deadlines) rather than broken math.  Only these trigger degradation: an
+op exception is deterministic and would reproduce on every backend, so
+demoting for it would just re-raise more slowly."""
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -324,6 +342,12 @@ class ModelCompressor:
         # Lazily-created process backend (pool + shm exports); None until
         # the first sweep runs with config.backend == "process".
         self._engine: "ProcessLayerEngine | None" = None
+        # Robustness state: the degradation ladder's current override
+        # (None = run on config.backend), the demotion history, and the
+        # sweep counter the checkpoint layer persists.
+        self._backend_override: str | None = None
+        self.degradations: list[tuple[str, str, str]] = []
+        self._sweeps_completed = 0
 
     @property
     def embedding_bits(self) -> int:
@@ -378,8 +402,40 @@ class ModelCompressor:
             self._engine = ProcessLayerEngine(self.config)
         return self._engine
 
+    @property
+    def active_backend(self) -> str:
+        """The backend sweeps currently run on (degradation-aware).
+
+        Starts as ``config.backend`` and only moves *down* the ladder
+        (process -> thread -> serial) when an infrastructure failure
+        demotes it; never silently promotes back.
+        """
+        return self._backend_override or self.config.backend
+
+    @property
+    def sweeps_completed(self) -> int:
+        """Sweeps merged so far (the checkpoint layer's progress marker)."""
+        return self._sweeps_completed
+
+    def _demote(self, failed_backend: str, exc: BaseException) -> None:
+        """Step one rung down the degradation ladder, warning loudly."""
+        next_backend = _DEGRADATION_LADDER[failed_backend]
+        reason = f"{type(exc).__name__}: {exc}"
+        self._backend_override = next_backend
+        self.degradations.append((failed_backend, next_backend, reason))
+        if failed_backend == "process" and self._engine is not None:
+            # The engine already reset itself on the way out; close it so
+            # no pools or blocks linger while we run degraded.
+            self._engine.close()
+        warnings.warn(
+            f"{failed_backend!r} backend failed a sweep ({reason}); degrading "
+            f"to {next_backend!r} for the rest of the run",
+            RobustnessWarning,
+            stacklevel=4,
+        )
+
     def _sweep(self, op: str, **kwargs) -> dict[str, _R]:
-        """Run one sweep op over all layers through the configured backend.
+        """Run one sweep op over all layers through the active backend.
 
         Serial/thread backends call the :data:`SWEEP_OPS` function on each
         wrapper's own clusterer; the process backend ships
@@ -393,12 +449,45 @@ class ModelCompressor:
         and subsequent cache behavior) from one swept serially, except
         that the decomposition products are re-residented lazily on next
         local use.
+
+        **Degradation ladder** (``config.degrade``, on by default): an
+        infrastructure failure -- the engine's respawn budget running out
+        (:class:`~repro.core.faults.PoolExhausted`), a chunked-mode hang
+        (:class:`~repro.core.faults.WatchdogTimeout`), a broken pool, a
+        lost shm block -- demotes the run one backend down (process ->
+        thread -> serial) with a :class:`~repro.core.faults.
+        RobustnessWarning` and re-runs the sweep there.  The re-run is
+        bit-safe because a failed process sweep merges *nothing*: the
+        engine raises before any outcome touches a wrapper.  Op
+        exceptions (bad math, bad kwargs) are not absorbed -- they are
+        deterministic and would fail on every backend.
         """
-        if self.config.backend != "process":
-            return self._layer_map(
+        while True:
+            backend = self.active_backend
+            try:
+                results = self._sweep_on(backend, op, **kwargs)
+            except _INFRA_FAILURES as exc:
+                if backend == "serial" or not self.config.degrade:
+                    raise
+                self._demote(backend, exc)
+                continue
+            self._sweeps_completed += 1
+            return results
+
+    def _sweep_on(self, backend: str, op: str, **kwargs) -> dict[str, _R]:
+        """One sweep attempt on one explicit backend (no ladder, no retry)."""
+        if backend != "process":
+            num_workers = (
+                1
+                if backend == "serial"
+                else self.config.resolve_workers(len(self.wrapped))
+            )
+            return parallel_layer_map(
                 lambda wrapper: SWEEP_OPS[op](
                     wrapper.clusterer, wrapper.inner.weight, **kwargs
-                )
+                ),
+                self.wrapped.items(),
+                num_workers,
             )
         outcomes = self._process_engine().map_layers(
             op,
@@ -433,6 +522,59 @@ class ModelCompressor:
         ``affinity="chunked"`` (see ``benchmarks/bench_affinity.py``).
         """
         return self._engine.transport if self._engine is not None else None
+
+    def fault_log(self) -> "FaultLog | None":
+        """The chaos injector's event log, if a fault plan is armed.
+
+        ``None`` when ``config.fault_plan`` is unset or the process
+        engine has not been created yet; fault injection only instruments
+        the process backend (the serial/thread paths have no workers to
+        kill, hang, or corrupt payloads for).
+        """
+        return self._engine.fault_log if self._engine is not None else None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> str:
+        """Atomically persist clustering progress to ``path``; return digest.
+
+        Sweep-granular: per-layer cluster states (exact IEEE-754 bytes),
+        warm tokens, and step-cache counters, plus the sweep count and a
+        config-epoch pin -- everything :meth:`resume` needs to continue
+        bit-identically to a run that was never interrupted.  See
+        :mod:`repro.core.checkpoint` for the durability contract.
+        """
+        from repro.core.checkpoint import write_checkpoint
+
+        return write_checkpoint(self, path)
+
+    def resume(self, path: str) -> dict:
+        """Restore clustering progress saved by :meth:`save_checkpoint`.
+
+        Verifies the payload digest and the config epoch, then reinstalls
+        every layer's state, warm token, and counters; subsequent sweeps
+        are bit-identical -- outputs *and* counters -- to the
+        uninterrupted run's.  Returns the verified payload for audits.
+        """
+        from repro.core.checkpoint import load_checkpoint
+
+        return load_checkpoint(self, path)
+
+    def restore_progress(
+        self, sweeps_completed: int, active_backend: "str | None" = None
+    ) -> None:
+        """Reinstall checkpointed progress markers (used by resume).
+
+        A degraded run resumes degraded: whatever infrastructure failure
+        forced the demotion (a flaky node, a reaped ``/dev/shm``) is
+        assumed to outlive the restart, so resume never silently promotes
+        back to a backend that was already proven broken.
+        """
+        self._sweeps_completed = sweeps_completed
+        if active_backend is not None and active_backend != self.config.backend:
+            self._backend_override = active_backend
 
     def close(self) -> None:
         """Release the process backend: shut the pool down, unlink shm.

@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.distributed.learner import LearnerGroup
 from repro.tensor.device import CPU, GPU, Device
 from repro.tensor.dtype import DType, bfloat16
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.faults import FaultPlan
 
 
 @dataclass
@@ -133,6 +137,42 @@ class CompressorConfig:
         embedding_bits: post-training palettization width for embeddings
             (paper: "we also compressed the embedding layers with 8 bits").
         skip_names: module-path prefixes exempted from wrapping.
+        task_timeout_s: watchdog deadline per shipped process-backend
+            task.  A slot batch of ``n`` tasks gets ``n * task_timeout_s``
+            seconds before the parent declares the worker hung, hard-kills
+            it, respawns the slot, and re-ships the batch full.  ``None``
+            (default) disables the watchdog -- a hung worker then blocks
+            the sweep forever, exactly the pre-watchdog behavior.
+        max_task_retries: re-submission budget per slot batch per sweep.
+            Recoverable failures (crash, hang, stale cache, corrupt
+            payload, lost shm block, transient worker error) re-ship the
+            batch full up to this many times; exhausting the budget falls
+            back to in-parent serial execution for the batch (see
+            ``max_layer_retries``) instead of failing the sweep.
+        retry_backoff_s: base sleep before re-submitting after a
+            *transient* worker failure; doubles per retry (exponential
+            backoff).  Crash/hang retries do not sleep -- the respawn
+            itself is the delay.
+        max_layer_retries: per-layer failure budget across the run.  A
+            layer whose batches exhaust their retries this many times is
+            *quarantined*: permanently executed in-parent (bit-identical
+            by construction) and never shipped again, so one poison layer
+            cannot re-fail every sweep.
+        max_pool_respawns: worker-respawn budget for the engine's
+            lifetime.  Exceeding it raises
+            :class:`~repro.core.faults.PoolExhausted` instead of
+            respawning again, which the compressor (with ``degrade=True``)
+            answers by demoting the backend down the ladder
+            process -> thread -> serial.
+        degrade: whether ``ModelCompressor`` demotes the backend and
+            re-runs the sweep when a backend fails irrecoverably, instead
+            of propagating the error.  Demotion emits a
+            :class:`~repro.core.faults.RobustnessWarning` and is recorded
+            on ``ModelCompressor.degradations``; the re-run is safe
+            because a failed sweep merges nothing into parent state.
+        fault_plan: a :class:`~repro.core.faults.FaultPlan` arming the
+            engine's deterministic fault injector (chaos testing).
+            ``None`` (default) injects nothing.
     """
 
     backend: str = "thread"
@@ -143,6 +183,13 @@ class CompressorConfig:
     task_chunk: int = 0
     embedding_bits: int = 8
     skip_names: tuple[str, ...] = ()
+    task_timeout_s: float | None = None
+    max_task_retries: int = 2
+    retry_backoff_s: float = 0.05
+    max_layer_retries: int = 3
+    max_pool_respawns: int = 8
+    degrade: bool = True
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -168,6 +215,26 @@ class CompressorConfig:
             )
         if self.task_chunk < 0:
             raise ValueError(f"task_chunk must be >= 0, got {self.task_chunk}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be positive or None, got {self.task_timeout_s}"
+            )
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.max_layer_retries < 1:
+            raise ValueError(
+                f"max_layer_retries must be >= 1, got {self.max_layer_retries}"
+            )
+        if self.max_pool_respawns < 0:
+            raise ValueError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
+            )
 
     def resolve_workers(self, n_tasks: int) -> int:
         """Effective pool width for ``n_tasks`` independent layers."""

@@ -212,6 +212,17 @@ class StepCache:
         with self._lock:
             self.stats = self.stats.merge(delta)
 
+    def restore_counters(self, stats: FastPathStats) -> None:
+        """Overwrite the hit/miss counters with a checkpointed snapshot.
+
+        Used by checkpoint resume (:mod:`repro.core.checkpoint`): a
+        resumed run must continue the counter sequence exactly where the
+        interrupted run left it, so subsequent sweeps stay bit-identical
+        -- counters included -- to a run that was never interrupted.
+        """
+        with self._lock:
+            self.stats = stats.merge(FastPathStats())
+
     # ------------------------------------------------------------------
     # Attention-table carry-over (refine -> forward assignment)
     # ------------------------------------------------------------------

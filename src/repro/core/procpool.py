@@ -74,27 +74,49 @@ from __future__ import annotations
 import atexit
 import hashlib
 import pickle
+import struct
+import time
+import warnings
 import weakref
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeout,
+    wait as futures_wait,
+)
 from dataclasses import dataclass, replace
 from multiprocessing import get_context
 from typing import TYPE_CHECKING, Any, Sequence
 
+import numpy as np
+
 from repro.core.config import CompressorConfig, DKMConfig
 from repro.core.dkm import ClusterState, DKMClusterer
 from repro.core.fastpath import FastPathStats
+from repro.core.faults import (
+    CorruptPayload,
+    FaultDirective,
+    FaultInjector,
+    FaultLog,
+    PoolExhausted,
+    RobustnessWarning,
+    TransientWorkerError,
+    WatchdogTimeout,
+    apply_directive,
+    corrupted_state,
+)
 from repro.tensor.serialization import (
     ShmExport,
     ShmLease,
     ShmLeaseRegistry,
+    ShmLost,
     ShmTensorHandle,
     attach_tensor_shm,
     export_tensor_shm,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    import numpy as np
-
     from repro.tensor.tensor import Tensor
 
 
@@ -129,6 +151,7 @@ class LayerTask:
     state: ClusterState | None
     warm: bool
     epoch: int = 0
+    fault: FaultDirective | None = None
 
 
 @dataclass
@@ -141,7 +164,11 @@ class LayerDelta:
     config (``epoch`` proves the resident one is current), just the
     mutable cluster state the parent may have advanced between sweeps
     plus the warm token.  Strictly fewer pickled bytes than the full
-    task it stands in for.
+    task it stands in for.  ``digest`` is a blake2b integrity tag over
+    the payload (see :func:`delta_digest`); the worker refuses to apply
+    a delta whose content no longer matches it
+    (:class:`~repro.core.faults.CorruptPayload`), making wire corruption
+    a recoverable re-ship instead of silent state divergence.
     """
 
     name: str
@@ -149,6 +176,34 @@ class LayerDelta:
     epoch: int
     state: ClusterState | None
     warm: bool
+    digest: str | None = None
+    fault: FaultDirective | None = None
+
+
+def delta_digest(
+    name: str,
+    version: int,
+    epoch: int,
+    warm: bool,
+    state: "ClusterState | None",
+) -> str:
+    """Blake2b integrity tag over a :class:`LayerDelta`'s payload.
+
+    Computed parent-side at build time and re-computed worker-side before
+    the delta is applied; covers every field that influences the worker's
+    resulting state (identity, version, epoch, warm token, and the exact
+    centroid/temperature/iteration bytes).  Cheap -- ``O(k)`` bytes per
+    layer per sweep -- and deterministic across processes.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(f"{name}|{version}|{epoch}|{int(warm)}".encode("utf-8"))
+    if state is not None:
+        hasher.update(
+            np.ascontiguousarray(state.centroids, dtype=np.float32).tobytes()
+        )
+        hasher.update(struct.pack("<d", float(state.temperature)))
+        hasher.update(struct.pack("<q", int(state.iterations_run)))
+    return hasher.hexdigest()
 
 
 @dataclass
@@ -330,6 +385,7 @@ class WorkerCacheRegistry:
     ) -> LayerOutcome:
         """Execute one sweep op against the (installed or resident) layer."""
         self._clock += 1
+        apply_directive(task.fault)
         if isinstance(task, LayerDelta):
             entry = self._resume(task)
         else:
@@ -374,6 +430,10 @@ class WorkerCacheRegistry:
 
     def _resume(self, task: LayerDelta) -> WorkerStepCache:
         """Validate and refresh the resident entry a delta addresses."""
+        if task.digest is not None and task.digest != delta_digest(
+            task.name, task.version, task.epoch, task.warm, task.state
+        ):
+            raise CorruptPayload(task.name)
         entry = self._entries.get(task.name)
         if entry is None:
             raise StaleWorkerCache(f"layer {task.name!r} not resident in worker")
@@ -487,6 +547,7 @@ def _run_one(fn, task: LayerTask, kwargs: dict) -> LayerOutcome:
     nothing referencing the shared pages survives into the pickled
     outcome -- every array in the outcome is a fresh worker-local copy.
     """
+    apply_directive(task.fault)
     lease = attach_tensor_shm(task.handle)
     try:
         clusterer = DKMClusterer(task.dkm_config)
@@ -532,21 +593,75 @@ class _SyncRecord:
     config: DKMConfig  # snapshot copy; detects in-place config edits
 
 
+_TEARDOWN_DRAIN_S = 5.0
+"""How long teardown waits for in-flight batches before hard-killing."""
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every worker process of ``pool`` (hung-worker path).
+
+    ``shutdown(cancel_futures=True)`` cannot stop a task that is already
+    executing; a worker wedged in a hung op only goes away via SIGKILL.
+    Best-effort by design: processes may already be gone.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=_TEARDOWN_DRAIN_S)
+        except Exception:
+            pass
+
+
 def _teardown(state: dict) -> None:
-    """Shut every pool down and unlink every export.  Idempotent.
+    """Drain in-flight work, shut pools down, unlink exports.  Idempotent.
 
     Module-level so ``weakref.finalize`` can run it after the engine is
     gone; ``state`` is the engine's mutable holder, shared by reference.
+
+    Ordering matters: unlinking a block while a worker still maps it is
+    fine (POSIX keeps the pages alive), but unlinking while a *pending*
+    task could still try to attach would turn shutdown into a worker
+    crash.  So teardown first cancels what it can, briefly drains what is
+    already running, hard-kills anything still wedged past the drain
+    window, and only then unlinks.  Every export close is individually
+    guarded: one failing unlink (already-reaped block, EPERM) must not
+    leak the remaining blocks or leave the pools running -- teardown
+    completes under double faults and is safe to call repeatedly.
     """
+    inflight = list(state.get("inflight") or ())
+    state["inflight"] = []
+    for future in inflight:
+        future.cancel()
+    pending = [f for f in inflight if not f.cancelled() and not f.done()]
+    hung = False
+    if pending:
+        _, not_done = futures_wait(pending, timeout=_TEARDOWN_DRAIN_S)
+        hung = bool(not_done)
     pools = [state.get("pool")] + list(state.get("slots", []))
     state["pool"] = None
     state["slots"] = []
     for pool in pools:
-        if pool is not None:
+        if pool is None:
+            continue
+        if hung:
+            _kill_pool_processes(pool)
+        try:
             pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
     exports = state["exports"]
     for export in list(exports.values()):
-        export.close()
+        try:
+            export.close()
+        except Exception:
+            # Best-effort: one failing unlink must not leak the rest (and
+            # the serialization atexit backstop still covers this block).
+            pass
     exports.clear()
     state["export_refs"].clear()
 
@@ -580,11 +695,17 @@ class ProcessLayerEngine:
             "slots": [],
             "exports": {},
             "export_refs": {},
+            "inflight": [],
         }
         self.transport = TransportStats()
+        self.faults = FaultInjector.from_plan(config.fault_plan)
         self._affinity: AffinityMap | None = None
         self._sync: dict[str, _SyncRecord] = {}
         self._epochs: dict[str, int] = {}
+        self._sweep_index = 0
+        self._respawns = 0
+        self._layer_failures: dict[str, int] = {}
+        self._quarantined: set[str] = set()
         self._finalizer = weakref.finalize(self, _teardown, self._state)
 
     # -- lifecycle ------------------------------------------------------
@@ -616,18 +737,42 @@ class ProcessLayerEngine:
         self._sync.clear()
         self._affinity = None
 
-    def _respawn_slot(self, slot: int) -> None:
-        """Replace one dead slot worker; its layers go back to full ships."""
+    def _respawn_slot(self, slot: int, kill: bool = False) -> None:
+        """Replace one dead or hung slot worker; its layers re-ship full.
+
+        ``kill=True`` is the watchdog path: the worker is wedged in a
+        hung task, so its processes are SIGKILLed before the executor is
+        shut down (``cancel_futures`` alone cannot stop a running task).
+        Every respawn draws on ``config.max_pool_respawns``; past the
+        budget :class:`~repro.core.faults.PoolExhausted` is raised so the
+        compressor degrades the backend instead of respawning forever.
+        """
         slots = self._state["slots"]
+        if kill:
+            _kill_pool_processes(slots[slot])
         slots[slot].shutdown(wait=False, cancel_futures=True)
+        for name in [n for n, rec in self._sync.items() if rec.slot == slot]:
+            del self._sync[name]
+        self._respawns += 1
+        if self._respawns > self.config.max_pool_respawns:
+            raise PoolExhausted(
+                f"worker respawn budget exhausted ({self._respawns - 1} respawns"
+                f" > max_pool_respawns={self.config.max_pool_respawns})"
+            )
         slots[slot] = ProcessPoolExecutor(
             max_workers=1, mp_context=self._mp_context()
         )
-        for name in [n for n, rec in self._sync.items() if rec.slot == slot]:
-            del self._sync[name]
 
     def reset(self) -> None:
-        """Tear down pools, exports, and sync records; engine stays usable."""
+        """Tear down pools, exports, and sync records; engine stays usable.
+
+        Idempotent, including under double faults: in-flight batches are
+        drained or hard-killed before any block is unlinked, and a
+        failing unlink never aborts the rest of the cleanup (see
+        :func:`_teardown`).  Quarantine membership and per-layer failure
+        counts survive a reset on purpose -- a poison layer stays
+        quarantined across the error/rebuild cycle it caused.
+        """
         _teardown(self._state)
         self._sync.clear()
         self._affinity = None
@@ -649,6 +794,21 @@ class ProcessLayerEngine:
     def affinity_map(self) -> AffinityMap | None:
         """The current pinning map (``None`` before the first sticky sweep)."""
         return self._affinity
+
+    @property
+    def fault_log(self) -> "FaultLog | None":
+        """The injector's event log (``None`` on a fault-free engine)."""
+        return None if self.faults is None else self.faults.log
+
+    @property
+    def respawns(self) -> int:
+        """Worker respawns performed so far (crash + watchdog paths)."""
+        return self._respawns
+
+    @property
+    def quarantined(self) -> frozenset[str]:
+        """Layers demoted to in-parent serial execution for this run."""
+        return frozenset(self._quarantined)
 
     # -- weight export cache --------------------------------------------
 
@@ -690,11 +850,20 @@ class ProcessLayerEngine:
         ``layers`` is ``(name, clusterer, weight)`` per layer.  The
         clusterer is only read on the parent side (state snapshot + warm
         token); the worker builds or resumes its own from the shipped
-        task.  On any failure the sticky path cannot absorb (a worker
-        exception that is not a crash or a stale-cache miss, a poisoned
-        export, a double fault), the engine is :meth:`reset` before the
-        error propagates.
+        task.  Failures the sticky path *can* absorb -- crashes, hangs
+        past ``task_timeout_s``, stale caches, corrupt deltas, lost shm
+        blocks, transient worker errors -- are retried per slot up to
+        ``max_task_retries`` times and then executed in-parent (see
+        :meth:`_collect_slot`); on any failure beyond that taxonomy (a
+        real op bug, the respawn budget running out) the engine is
+        :meth:`reset` before the error propagates, so a failed sweep
+        never merges partial results and never leaks ``/dev/shm``.
         """
+        self._sweep_index += 1
+        if self.faults is not None:
+            self.faults.begin_sweep(
+                self._sweep_index, [name for name, _, _ in layers], op
+            )
         try:
             if self.config.affinity == "sticky":
                 outcomes = self._map_sticky(op, layers, kwargs)
@@ -703,25 +872,30 @@ class ProcessLayerEngine:
         except BaseException:
             self.reset()
             raise
+        self._state["inflight"] = []
         return {outcome.name: outcome for outcome in outcomes}
 
     # -- chunked mode ---------------------------------------------------
+
+    def _deadline(self, n_tasks: int) -> float | None:
+        """The watchdog deadline for an ``n_tasks`` batch (``None`` = off)."""
+        timeout = self.config.task_timeout_s
+        return None if timeout is None else timeout * max(1, n_tasks)
 
     def _map_chunked(self, op, layers, kwargs) -> list[LayerOutcome]:
         self.transport.begin_sweep()
         tasks = []
         for name, clusterer, weights in layers:
-            tasks.append(
-                LayerTask(
-                    name=name,
-                    handle=self._export_weight(name, weights),
-                    dkm_config=clusterer.config,
-                    state=clusterer.state,
-                    warm=clusterer.fastpath.is_warm(
-                        weights, clusterer.config.weight_dtype
-                    ),
-                )
+            task = LayerTask(
+                name=name,
+                handle=self._export_weight(name, weights),
+                dkm_config=clusterer.config,
+                state=clusterer.state,
+                warm=clusterer.fastpath.is_warm(
+                    weights, clusterer.config.weight_dtype
+                ),
             )
+            tasks.append(self._inject_faults(task, name))
         pool = self._ensure_pool(len(tasks))
         chunk = self.config.resolve_task_chunk(len(tasks))
         futures = []
@@ -729,7 +903,20 @@ class ProcessLayerEngine:
             batch = tasks[i : i + chunk]
             self.transport.record_batch(batch)
             futures.append(pool.submit(_run_layer_batch, op, kwargs, batch))
-        return [outcome for future in futures for outcome in future.result()]
+        self._state["inflight"] = list(futures)
+        outcomes: list[LayerOutcome] = []
+        for index, future in enumerate(futures):
+            deadline = self._deadline(min(chunk, len(tasks) - index * chunk))
+            try:
+                outcomes.extend(future.result(timeout=deadline))
+            except FutureTimeout:
+                # Chunked workers are stateless and interchangeable; there
+                # is no per-slot respawn to do, so a hang is terminal for
+                # the sweep (map_layers resets; the compressor degrades).
+                raise WatchdogTimeout(
+                    f"chunked batch exceeded its {deadline:.1f}s deadline"
+                ) from None
+        return outcomes
 
     # -- sticky mode ----------------------------------------------------
 
@@ -786,13 +973,15 @@ class ProcessLayerEngine:
             and rec.version == handle.version
             and rec.config == clusterer.config
         ):
+            warm = clusterer.fastpath.is_warm(weights, clusterer.config.weight_dtype)
             return LayerDelta(
                 name=name,
                 version=handle.version,
                 epoch=rec.epoch,
                 state=clusterer.state,
-                warm=clusterer.fastpath.is_warm(
-                    weights, clusterer.config.weight_dtype
+                warm=warm,
+                digest=delta_digest(
+                    name, handle.version, rec.epoch, warm, clusterer.state
                 ),
             )
         return self._full_task(name, clusterer, weights, handle, slot)
@@ -807,7 +996,7 @@ class ProcessLayerEngine:
     ) -> "Future | None":
         """Submit one slot batch; ``None`` signals a dead worker (retry)."""
         try:
-            return self._state["slots"][slot].submit(
+            future = self._state["slots"][slot].submit(
                 _run_sticky_batch,
                 op,
                 kwargs,
@@ -817,6 +1006,8 @@ class ProcessLayerEngine:
             )
         except BrokenExecutor:
             return None
+        self._state["inflight"].append(future)
+        return future
 
     def _map_sticky(self, op, layers, kwargs) -> list[LayerOutcome]:
         n_workers = self.config.resolve_workers(len(layers))
@@ -840,12 +1031,22 @@ class ProcessLayerEngine:
         self.transport.begin_sweep()
         spec: dict[str, tuple] = {}
         batches: list[list] = [[] for _ in range(n_workers)]
+        by_name: dict[str, LayerOutcome] = {}
         for name, clusterer, weights in layers:
+            if name in self._quarantined:
+                # Poison layer: never shipped again; runs in-parent with
+                # the exact worker-path semantics (cloned clusterer).
+                by_name[name] = self._run_in_parent(
+                    op, name, clusterer, weights, kwargs
+                )
+                continue
             handle = self._export_weight(name, weights)
             slot = amap.pins[name]
             spec[name] = (clusterer, weights, handle)
             batches[slot].append(
-                self._build_task(name, clusterer, weights, handle, slot)
+                self._inject_faults(
+                    self._build_task(name, clusterer, weights, handle, slot), name
+                )
             )
         futures: list["Future | None"] = []
         for slot in range(n_workers):
@@ -861,68 +1062,234 @@ class ProcessLayerEngine:
             futures.append(
                 self._submit_slot(
                     slot, op, kwargs, batches[slot],
-                    retain=tuple(amap.layers_for(slot)),
+                    retain=self._retain_for(slot),
                 )
             )
-        by_name: dict[str, LayerOutcome] = {}
         for slot in range(n_workers):
             if not batches[slot]:
                 future = futures[slot]
                 if future is not None:
                     try:
-                        future.result()
+                        future.result(timeout=self._deadline(1))
+                    except FutureTimeout:
+                        self._respawn_slot(slot, kill=True)
                     except (BrokenExecutor, StaleWorkerCache):
                         pass  # a dead worker has nothing resident to prune
                 continue
-            future = futures[slot]
-            outcomes: list[LayerOutcome] | None = None
-            if future is not None:
-                try:
-                    outcomes = future.result()
-                except BrokenExecutor:
-                    outcomes = None
-                except StaleWorkerCache:
-                    # Worker alive but out of step: re-ship full, no respawn.
-                    outcomes = self._retry_slot(
-                        slot, op, kwargs, batches[slot], spec, respawn=False
-                    )
-            if outcomes is None:
-                # Worker died (at submit or mid-batch): respawn + full.
-                outcomes = self._retry_slot(
-                    slot, op, kwargs, batches[slot], spec, respawn=True
-                )
-            for outcome in outcomes:
+            for outcome in self._collect_slot(
+                slot, op, kwargs, batches[slot], spec, futures[slot]
+            ):
                 by_name[outcome.name] = outcome
         return [by_name[name] for name in names]
 
-    def _retry_slot(
+    # -- failure recovery -----------------------------------------------
+
+    def _retain_for(self, slot: int) -> tuple[str, ...]:
+        """The slot's current pinned layer set, minus quarantined layers."""
+        if self._affinity is None:
+            return ()
+        return tuple(
+            name
+            for name in self._affinity.layers_for(slot)
+            if name not in self._quarantined
+        )
+
+    def _inject_faults(
+        self, task: "LayerTask | LayerDelta", name: str
+    ) -> "LayerTask | LayerDelta":
+        """Apply any armed injections to one outbound task (chaos hook).
+
+        Worker-side kinds ride along as the task's ``fault`` directive;
+        ``corrupt_delta`` perturbs a *copy* of the delta's state after
+        its digest was computed (corruption exists only on the wire);
+        ``drop_shm`` unlinks the layer's live block out from under the
+        engine, exactly as an external ``/dev/shm`` reaper would.
+        No-op on fault-free engines.
+        """
+        injector = self.faults
+        if injector is None:
+            return task
+        directive = injector.worker_directive(name)
+        if directive is not None:
+            task = replace(task, fault=directive)
+        if isinstance(task, LayerDelta) and injector.fire("corrupt_delta", name):
+            task = replace(task, state=corrupted_state(task.state))
+        if injector.fire("drop_shm", name):
+            self._drop_shm_block(name)
+        return task
+
+    def _drop_shm_block(self, name: str) -> None:
+        """Simulate an externally-reaped block for ``name`` (injection).
+
+        The block is unlinked while the parent's export (and any worker
+        lease) still references it; the sync record is dropped so the
+        next shipment attaches -- and trips over -- the missing block,
+        surfacing as :class:`~repro.tensor.serialization.ShmLost`.
+        """
+        export = self._state["exports"].get(name)
+        if export is not None:
+            try:
+                export.shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._sync.pop(name, None)
+
+    def _drop_export(self, name: str) -> None:
+        """Forget (and release) the layer's export after its block vanished."""
+        export = self._state["exports"].pop(name, None)
+        self._state["export_refs"].pop(name, None)
+        self._sync.pop(name, None)
+        if export is not None:
+            export.close()  # tolerates the already-unlinked block
+
+    def _collect_slot(
         self,
         slot: int,
         op: str,
         kwargs: dict,
         batch: list,
         spec: dict,
-        respawn: bool,
+        future: "Future | None",
     ) -> list[LayerOutcome]:
-        """Second (and last) attempt for one slot, everything shipped full.
+        """Collect one slot's outcomes, absorbing every recoverable failure.
 
-        A second failure propagates -- ``map_layers`` resets the engine.
+        The retry loop implements the recovery taxonomy (see
+        ``docs/robustness.md``): a hang past the batch deadline kills and
+        respawns the worker; a crash respawns it; a stale cache or
+        corrupt payload re-ships full to the live worker; a lost shm
+        block re-exports first; a transient error backs off
+        exponentially (``retry_backoff_s * 2**attempt``) and retries in
+        place.  Each retry re-ships the batch as full tasks.  After
+        ``max_task_retries`` failed shipments the batch falls back to
+        in-parent serial execution -- the sweep still completes -- and
+        each layer's failure count advances toward quarantine.
+        :class:`~repro.core.faults.PoolExhausted` (respawn budget spent)
+        is deliberately *not* absorbed: it propagates so the compressor
+        can demote the whole backend.
         """
-        if respawn:
-            self._respawn_slot(slot)
+        deadline = self._deadline(len(batch))
+        retries = self.config.max_task_retries
+        attempt = 0
+        while True:
+            kind = None
+            if future is None:
+                kind = "crash"  # worker was already dead at submit time
+            else:
+                try:
+                    return future.result(timeout=deadline)
+                except FutureTimeout:
+                    kind = "hang"
+                except BrokenExecutor:
+                    kind = "crash"
+                except (StaleWorkerCache, CorruptPayload):
+                    kind = "stale"
+                except ShmLost:
+                    kind = "shm-lost"
+                except TransientWorkerError:
+                    kind = "transient"
+            # Repair the slot before deciding retry vs fallback, so a
+            # hung or dead worker never lingers into the next sweep.
+            if kind == "hang":
+                self._respawn_slot(slot, kill=True)
+            elif kind == "crash":
+                self._respawn_slot(slot)
+            if kind == "shm-lost":
+                for task in batch:
+                    self._drop_export(task.name)
+            if attempt >= retries:
+                return self._fallback_in_parent(op, kwargs, batch, spec, kind)
+            attempt += 1
+            if kind == "transient" and self.config.retry_backoff_s > 0:
+                time.sleep(self.config.retry_backoff_s * (2 ** (attempt - 1)))
+            batch = self._rebuild_full(batch, spec, slot)
+            future = self._submit_slot(
+                slot, op, kwargs, batch, retain=self._retain_for(slot)
+            )
+
+    def _rebuild_full(self, batch: list, spec: dict, slot: int) -> list:
+        """Re-ship a failed batch as full tasks (re-exporting as needed).
+
+        Injections are re-applied on the rebuilt tasks: a fault spec with
+        ``times > 1`` keeps firing on retries, which is how the chaos
+        suite drives the retry budget all the way to quarantine.
+        """
         full_batch = []
         for task in batch:
-            clusterer, weights, handle = spec[task.name]
+            clusterer, weights, _ = spec[task.name]
+            handle = self._export_weight(task.name, weights)
+            spec[task.name] = (clusterer, weights, handle)
             full_batch.append(
-                self._full_task(task.name, clusterer, weights, handle, slot)
+                self._inject_faults(
+                    self._full_task(task.name, clusterer, weights, handle, slot),
+                    task.name,
+                )
             )
         self.transport.record_batch(full_batch)
-        retain = None
-        if self._affinity is not None:
-            retain = tuple(self._affinity.layers_for(slot))
-        future = self._submit_slot(slot, op, kwargs, full_batch, retain=retain)
-        if future is None:
-            raise BrokenExecutor(
-                f"sticky slot {slot} worker died again immediately after respawn"
+        return full_batch
+
+    def _fallback_in_parent(
+        self, op: str, kwargs: dict, batch: list, spec: dict, kind: str
+    ) -> list[LayerOutcome]:
+        """Out of retries: run the batch in-parent and advance quarantine.
+
+        The sweep still completes bit-identically (the in-parent path
+        reproduces the worker-path semantics exactly); each layer's
+        failure count advances, and a layer reaching
+        ``max_layer_retries`` is quarantined -- permanently executed
+        in-parent, never shipped again -- with a
+        :class:`~repro.core.faults.RobustnessWarning`.
+        """
+        outcomes = []
+        for task in batch:
+            name = task.name
+            failures = self._layer_failures.get(name, 0) + 1
+            self._layer_failures[name] = failures
+            self._sync.pop(name, None)
+            if (
+                failures >= self.config.max_layer_retries
+                and name not in self._quarantined
+            ):
+                self._quarantined.add(name)
+                warnings.warn(
+                    f"layer {name!r} failed {failures} shipped batches (last "
+                    f"failure: {kind}); quarantining it to in-parent serial "
+                    "execution for the rest of the run",
+                    RobustnessWarning,
+                    stacklevel=6,
+                )
+            clusterer, weights, _ = spec[name]
+            outcomes.append(self._run_in_parent(op, name, clusterer, weights, kwargs))
+        return outcomes
+
+    def _run_in_parent(
+        self, op: str, name: str, clusterer: DKMClusterer, weights, kwargs: dict
+    ) -> LayerOutcome:
+        """Execute one layer in the parent with worker-path semantics.
+
+        Mirrors :func:`_run_one` exactly: a *fresh* clusterer seeded with
+        a copy of the parent's state (the parent clusterer is never
+        mutated before the merge -- a later sweep failure followed by a
+        degraded re-run must see unchanged inputs), the warm token
+        becoming a phantom ``mark_computed``, and stats shipped as the
+        fresh cache's totals, which the merge treats as deltas.  Counter
+        accounting therefore stays bit-identical to the worker path.
+        """
+        from repro.core.compressor import SWEEP_OPS
+
+        fn = SWEEP_OPS[op]
+        local = DKMClusterer(clusterer.config)
+        state = clusterer.state
+        if state is not None:
+            local.state = replace(
+                state, centroids=np.array(state.centroids, copy=True)
             )
-        return future.result()
+        if clusterer.fastpath.is_warm(weights, clusterer.config.weight_dtype):
+            local.fastpath.mark_computed(weights, clusterer.config.weight_dtype)
+        result = fn(local, weights, **kwargs)
+        return LayerOutcome(
+            name=name,
+            result=result,
+            state=local.state,
+            stats=local.fastpath.stats,
+            table=local.fastpath.peek_table(),
+        )

@@ -31,10 +31,21 @@ Lifecycle rules of the codec (enforced by :class:`ShmExport` /
 - blocks are sized off ``Storage.physical_nbytes`` -- the numpy buffer,
   not the logical accounting -- because simulated dtypes (bfloat16) store
   wider than they account.
+- an attach against an unlinked block raises the typed :class:`ShmLost`
+  (a ``FileNotFoundError`` subclass that pickles across the pool
+  boundary), which the process engine treats as a recoverable fault:
+  drop the stale export, re-export, re-ship.
+- a module-level ``atexit`` backstop unlinks every block still owned by
+  a live :class:`ShmExport` when the interpreter exits, so a parent that
+  dies between sweeps without running ``close()`` cannot leak
+  ``/dev/shm`` segments (``kill -9`` excepted -- no exit hook survives
+  that; the checkpoint journal covers recovery instead).
 """
 
 from __future__ import annotations
 
+import atexit
+import errno
 import json
 import os
 import weakref
@@ -87,6 +98,59 @@ def _sidecar(path: str) -> str:
 # ----------------------------------------------------------------------
 
 
+class ShmLost(FileNotFoundError):
+    """A shared-memory block named by a live handle no longer exists.
+
+    The typed form of the codec's one external failure mode: the block
+    was unlinked out from under a handle -- a crashed exporter, an
+    overzealous ``/dev/shm`` reaper, or the fault injector.  Subclasses
+    ``FileNotFoundError`` so pre-existing callers keep working, but
+    carries the block name and pickles cleanly across the process-pool
+    boundary, so the parent engine can recover (drop the stale export,
+    re-export, re-ship) instead of pattern-matching on ``errno``.
+    """
+
+    def __init__(self, shm_name: str):
+        super().__init__(
+            errno.ENOENT,
+            f"shared-memory block {shm_name!r} is gone (unlinked or never created)",
+        )
+        self.shm_name = shm_name
+
+    def __reduce__(self):
+        """Pickle by block name (OSError's default reduce would re-init
+        with ``(errno, message)`` and crash on this signature)."""
+        return (type(self), (self.shm_name,))
+
+
+# Every live ShmExport, tracked weakly for the atexit backstop below.
+_LIVE_EXPORTS: "weakref.WeakSet[ShmExport]" = weakref.WeakSet()
+
+
+def _atexit_unlink_exports() -> None:
+    """Unlink every block still owned by a live export at interpreter exit.
+
+    Each export already has a ``weakref.finalize`` safety net, but a
+    parent that exits while an engine (and therefore its export cache)
+    is still strongly referenced -- an uncaught exception between sweeps,
+    a bare ``sys.exit`` -- would otherwise rely on interpreter-teardown
+    GC ordering to run those finalizers.  This hook makes the guarantee
+    unconditional for any exit that runs ``atexit`` at all (nothing can
+    help after ``kill -9``; crash *recovery* for that case is the
+    checkpoint journal's job).  It unlinks the raw block directly rather
+    than going through ``export.close()``, so it still works when an
+    export's finalizer was detached or already consumed.
+    """
+    for export in list(_LIVE_EXPORTS):
+        try:
+            _destroy_shm(export.shm)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+atexit.register(_atexit_unlink_exports)
+
+
 @dataclass(frozen=True)
 class ShmTensorHandle:
     """Picklable descriptor of a tensor exported to a shared-memory block.
@@ -122,6 +186,7 @@ class ShmExport:
         self.shm = shm
         self.handle = handle
         self._finalizer = weakref.finalize(self, _destroy_shm, shm)
+        _LIVE_EXPORTS.add(self)
 
     @property
     def name(self) -> str:
@@ -242,9 +307,12 @@ class ShmLease:
 
     def __init__(self, handle: ShmTensorHandle):
         self.handle = handle
-        self._shm: shared_memory.SharedMemory | None = _open_shm_untracked(
-            handle.shm_name
-        )
+        try:
+            self._shm: shared_memory.SharedMemory | None = _open_shm_untracked(
+                handle.shm_name
+            )
+        except FileNotFoundError as exc:
+            raise ShmLost(handle.shm_name) from exc
         dtype = get_dtype(handle.dtype_name)
         data = np.frombuffer(
             self._shm.buf, dtype=dtype.np_storage, count=handle.storage_numel
@@ -286,8 +354,10 @@ def attach_tensor_shm(handle: ShmTensorHandle) -> ShmLease:
 
     Returns a :class:`ShmLease`; use it as a context manager (the yielded
     tensor shares the exporter's physical pages and must not outlive the
-    lease).  Raises ``FileNotFoundError`` if the block was already
-    unlinked -- the signal tests use to verify cleanup.
+    lease).  Raises :class:`ShmLost` (a ``FileNotFoundError`` subclass)
+    if the block was already unlinked -- the signal tests use to verify
+    cleanup, and the signal the process engine recovers from by
+    re-exporting.
     """
     _sweep_deferred_closes()
     return ShmLease(handle)

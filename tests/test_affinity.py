@@ -479,7 +479,13 @@ class TestStickyResilience:
 
     def test_reset_reexports_instead_of_reusing_stale_keys(self):
         """A sweep error must not leave stale (storage, version) exports
-        or sync records behind: the next sweep re-exports every layer."""
+        or sync records behind: the next sweep re-exports every layer.
+
+        A lost shm block no longer fails a sweep (the engine re-exports
+        and re-ships, see ``test_faults.py``), so the error here is a
+        genuine op failure -- a bad kwarg raising in the worker -- which
+        is outside the recovery taxonomy and must reset the engine.
+        """
         sticky, _ = _compressor("process", n_layers=2)
         serial, _ = _compressor("serial", n_layers=2)
         try:
@@ -488,14 +494,12 @@ class TestStickyResilience:
             engine = sticky._engine
             old_names = set(engine.active_shm_names())
             assert engine._sync  # layers synced after a clean sweep
-            # Poison one export so the next sweep fails inside a worker.
-            name = next(iter(sticky.wrapped))
-            export = engine._state["exports"][name]
-            export.handle = dataclasses.replace(
-                export.handle, shm_name="repro_affinity_poisoned"
-            )
-            with pytest.raises(FileNotFoundError):
-                sticky.precluster()
+            layers = [
+                (name, wrapper.clusterer, wrapper.inner.weight)
+                for name, wrapper in sticky.wrapped.items()
+            ]
+            with pytest.raises(TypeError):
+                engine.map_layers("refine", layers, bogus_kwarg=True)
             # reset() ran: exports unlinked AND sync records forgotten.
             assert engine.active_shm_names() == []
             assert engine._sync == {}

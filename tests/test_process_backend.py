@@ -167,30 +167,36 @@ class TestWorkerLifecycle:
         _assert_all_unlinked(names)
         assert process._engine.active_shm_names() == []
 
-    def test_sweep_error_cleans_shm_and_engine_recovers(self):
+    def test_poisoned_export_recovers_transparently(self):
+        # A lost/unreachable shm block used to fail the sweep with a raw
+        # FileNotFoundError; it now surfaces worker-side as the typed
+        # ShmLost and the engine re-exports + re-ships without the caller
+        # ever seeing an error.
         process, _ = _compressor("process")
         serial, _ = _compressor("serial")
         process.precluster()
+        serial.precluster()
         engine = process._engine
-        names = engine.active_shm_names()
         # Poison one layer's export: the worker's attach will fail exactly
         # as it would after an external unlink (a crashed/mis-cleaned peer).
         name = next(iter(process.wrapped))
         export = engine._state["exports"][name]
+        poisoned_block = export.name
         export.handle = dataclasses.replace(
             export.handle, shm_name="repro_test_poisoned_block"
         )
-        with pytest.raises(FileNotFoundError):
-            process.precluster()
-        _assert_all_unlinked(names)  # error path unlinked every block
-        # The failed sweep mutated nothing, and the engine rebuilds pool +
-        # exports: the next sweep matches a serial history of two sweeps.
-        again = process.precluster()
-        serial.precluster()
+        again = process.precluster()  # survives: ShmLost -> re-export
         reference = serial.precluster()
         for layer in reference:
             assert np.array_equal(reference[layer].centroids, again[layer].centroids)
+        assert _stats(serial) == _stats(process)
+        # The poisoned layer's original block was released during recovery...
+        _assert_all_unlinked([poisoned_block])
+        # ...and everything rebuilt in its place is cleaned up by close().
+        names = engine.active_shm_names()
+        assert names  # recovery re-exported live blocks
         process.close()
+        _assert_all_unlinked(names)
 
     def test_context_manager_closes(self):
         process, _ = _compressor("process")
