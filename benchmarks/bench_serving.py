@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Palette-serving benchmark entry point.
+
+Trains one small model, compresses it, and serves the same concurrent
+request load through three scenarios (uncompressed, compressed-dense,
+compressed-palette), reporting requests/sec, p50/p99 latency, batch
+occupancy, and weight bytes for each.  The run is *gated* on:
+
+- bit-identical completions between the palette and dense eval paths
+  under concurrent load, both also matching offline single-prompt
+  ``generate`` on the same compressed weights;
+- admission control shedding load (a burst past the queue bound yields
+  ``AdmissionError``s, and every submitted request is accounted for);
+- a microscopic deadline being rejected with ``DeadlineExceeded``;
+- per-request byte accounting flowing through the traffic ledger.
+
+Wall times and throughput are recorded but not gated -- CI runners are
+noisy.  Writes ``benchmarks/results/BENCH_serving.json`` (schema:
+``docs/benchmarks.md``).
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.serving import run_serving  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--max-new-tokens", type=int, default=8)
+    parser.add_argument("--bits", type=int, default=4)
+    parser.add_argument(
+        "--tile-cache-bytes",
+        type=int,
+        default=0,
+        help="hot-tile LRU budget for the palette scenario (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller corpus and request load (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    result = run_serving(
+        n_requests=6 if args.quick else args.requests,
+        max_new_tokens=4 if args.quick else args.max_new_tokens,
+        bits=args.bits,
+        sentences=120 if args.quick else 400,
+        epochs=1 if args.quick else 2,
+        tile_cache_bytes_limit=args.tile_cache_bytes,
+        seed=args.seed,
+    )
+
+    payload = result.to_json_dict()
+    failures: list[str] = []
+    for row in payload["rows"]:
+        p50 = row["latency_p50_s"]
+        p99 = row["latency_p99_s"]
+        print(
+            f"{row['scenario']:<19} ({row['eval_path']:<7}) "
+            f"{row['requests_per_s']:>7.2f} req/s  "
+            f"p50={p50 if p50 is None else f'{p50:.4f}s'} "
+            f"p99={p99 if p99 is None else f'{p99:.4f}s'}  "
+            f"occupancy={row['mean_batch_occupancy']:.2f}  "
+            f"weights={row['weight_bytes_resident']}B resident / "
+            f"{row['weight_bytes_read']}B read"
+        )
+        if row["completed"] != payload["n_requests"]:
+            failures.append(
+                f"{row['scenario']}: completed {row['completed']} of "
+                f"{payload['n_requests']} requests"
+            )
+    if not payload["tokens_identical"]:
+        failures.append(
+            "palette completions differ from dense/offline reference "
+            "(eval paths are not bit-identical under concurrent load)"
+        )
+    ratio = payload["palette_vs_uncompressed_weight_bytes"]
+    if ratio is not None:
+        print(f"palette/uncompressed resident weight bytes: {ratio:.3f}")
+        if ratio >= 1.0:
+            failures.append(
+                "palette artifact is not smaller than the uncompressed "
+                f"weights (ratio {ratio:.3f})"
+            )
+    admission = payload["admission"]
+    print(
+        f"admission: {admission['rejected']} rejected / "
+        f"{admission['completed']} completed of "
+        f"{admission['submit_attempts']} attempts  "
+        f"deadline_rejected={payload['deadline_rejected']}"
+    )
+    if admission["rejected"] == 0:
+        failures.append("admission probe: burst past queue bound shed nothing")
+    if not admission["accounted"]:
+        failures.append(
+            "admission probe: rejected + completed != submitted "
+            f"({admission['rejected']} + {admission['completed']} vs "
+            f"{admission['submit_attempts']})"
+        )
+    if payload["deadline_rejected"] == 0:
+        failures.append("microscopic deadline was not rejected")
+    if payload["request_bytes_tagged"] != 4:
+        failures.append(
+            "per-request ledger accounting: expected 4 tagged requests, "
+            f"got {payload['request_bytes_tagged']}"
+        )
+    print(
+        f"tokens-identical={payload['tokens_identical']}  "
+        f"cpu_count={payload['cpu_count']}"
+    )
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all serving assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

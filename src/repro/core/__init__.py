@@ -37,6 +37,8 @@ from repro.core.config import (
     DKMConfig,
     EDKMConfig,
     PipelineStats,
+    get_default_compressor_config,
+    get_default_dkm_config,
 )
 from repro.core.faults import (
     FAULT_KINDS,
@@ -131,6 +133,8 @@ __all__ = [
     "DKMConfig",
     "EDKMConfig",
     "PipelineStats",
+    "get_default_compressor_config",
+    "get_default_dkm_config",
     "ClusteredLinear",
     "CompressionReport",
     "LayerClusterResult",

@@ -45,6 +45,7 @@ to corruption (see ``StepCache``).
 from __future__ import annotations
 
 import warnings
+import weakref
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, TypeVar
@@ -63,6 +64,7 @@ from repro.core.faults import (
 from repro.core.palettize import PalettizedTensor, kmeans_palettize
 from repro.nn.linear import Embedding, Linear
 from repro.nn.module import Module
+from repro.tensor.dtype import promote
 from repro.tensor.serialization import ShmLost
 from repro.tensor.tensor import Tensor
 
@@ -131,6 +133,13 @@ class ClusteredLinear(Module):
         self.uniquify_enabled = uniquify_enabled
         self.reconstruct_backward = reconstruct_backward
         self.clusterer = DKMClusterer(dkm_config)
+        # Eval-path state: the version-keyed hard-weight cache, the shared
+        # (centroids, assignments) products both eval paths derive from,
+        # and the optional palette executor (enable_palette_eval).
+        self._hard_cache: tuple | None = None
+        self._hard_products_cache: tuple | None = None
+        self._palette_opts: tuple | None = None
+        self._palette_exec = None
         # Clustering keys on 16-bit patterns: keep the master weight in the
         # configured 16-bit training dtype (paper: bfloat16).
         if inner.weight.dtype is not dkm_config.weight_dtype:
@@ -151,7 +160,15 @@ class ClusteredLinear(Module):
                 reconstruct_backward=self.reconstruct_backward,
             )
         else:
+            from repro.tensor.autograd import is_grad_enabled
+
             # Eval mode: hard palettized weights (deployment behavior).
+            # Palette execution only applies off the autograd tape -- it
+            # returns detached values, so a recorded eval forward (e.g.
+            # probing gradients against frozen weights) keeps the dense
+            # reconstruction path.
+            if self._palette_opts is not None and not is_grad_enabled():
+                return self._palette_forward(x)
             clustered = self._hard_weight()
         out = x @ clustered.T
         if self.inner.bias is not None:
@@ -161,28 +178,167 @@ class ClusteredLinear(Module):
     def train(self, mode: bool = True) -> "ClusteredLinear":
         """Switch train/eval mode, dropping the hard-weight eval cache.
 
-        Weights only change while training, so any mode change invalidates
-        the cached palettized reconstruction eval forwards serve.
+        Mode changes signal intent to (stop) mutating weights, so the
+        cached palettized reconstruction is conservatively dropped even
+        though it is also keyed on the weight storage version.
         """
         object.__setattr__(self, "_hard_cache", None)
         super().train(mode)
         return self
 
-    def _hard_weight(self) -> Tensor:
+    def _weight_version_key(self) -> tuple:
+        """The (version, view) key a weight write invalidates."""
+        weight = self.inner.weight
+        return (
+            weight.storage.version,
+            weight.shape,
+            weight.strides,
+            weight.offset,
+        )
+
+    def _hard_products(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(centroids, assignments)`` for the current weight version.
+
+        Computed once per version and shared by *both* eval paths:
+        ``refine`` warm-starts from mutable clusterer state, so a second
+        call against the same bytes can keep converging and yield a
+        slightly different palette -- the dense reconstruction and the
+        palette executor must consume the same snapshot or their outputs
+        diverge beyond summation order.
+        """
         from repro.tensor.autograd import no_grad
 
-        cached = getattr(self, "_hard_cache", None)
-        if cached is not None:
-            return cached
+        weight = self.inner.weight
+        key = self._weight_version_key()
+        cached = self._hard_products_cache
+        if (
+            cached is not None
+            and cached[0] == key
+            and cached[1]() is weight.storage
+        ):
+            return cached[2], cached[3]
         with no_grad():
-            state = self.clusterer.refine(self.inner.weight)
-            assignments = self.clusterer.hard_assign(self.inner.weight)
-            values = state.centroids[assignments].reshape(self.inner.weight.shape)
-            hard = Tensor.from_numpy(
-                values, dtype=self.inner.weight.dtype, device=self.inner.weight.device
+            state = self.clusterer.refine(weight)
+            assignments = np.asarray(
+                self.clusterer.hard_assign(weight), dtype=np.int64
             )
-        object.__setattr__(self, "_hard_cache", hard)
+        centroids = state.centroids.copy()
+        self._hard_products_cache = (
+            key,
+            weakref.ref(weight.storage),
+            centroids,
+            assignments,
+        )
+        return centroids, assignments
+
+    def _hard_weight(self) -> Tensor:
+        weight = self.inner.weight
+        key = self._weight_version_key()
+        cached = getattr(self, "_hard_cache", None)
+        # Keyed on Storage.version (the counter every in-place write
+        # bumps), not just on mode changes: an optimizer step or
+        # weight.copy_ while the module stays in eval mode must not
+        # keep serving the stale palettized reconstruction.
+        if (
+            cached is not None
+            and cached[0] == key
+            and cached[1]() is weight.storage
+        ):
+            return cached[2]
+        centroids, assignments = self._hard_products()
+        values = centroids[assignments].reshape(weight.shape)
+        hard = Tensor.from_numpy(values, dtype=weight.dtype, device=weight.device)
+        object.__setattr__(
+            self, "_hard_cache", (key, weakref.ref(weight.storage), hard)
+        )
         return hard
+
+    # ------------------------------------------------------------------
+    # Palette eval path (serving)
+    # ------------------------------------------------------------------
+
+    def enable_palette_eval(
+        self,
+        name: str = "",
+        tile_rows: int = 32,
+        cache=None,
+    ) -> None:
+        """Route no-grad eval forwards through the palette executor.
+
+        ``cache`` is an optional shared
+        :class:`~repro.serving.palette.TileCache`; ``name`` keys this
+        layer's tiles in it.  The executor itself is built lazily on the
+        first palette forward and rebuilt whenever the weight storage
+        version moves, so enabling is cheap and never serves stale
+        palettes.
+        """
+        self._palette_opts = (name, max(1, int(tile_rows)), cache)
+        self._palette_exec = None
+
+    def disable_palette_eval(self) -> None:
+        """Restore the dense-reconstruction eval path, dropping tiles."""
+        if self._palette_exec is not None:
+            self._palette_exec.invalidate()
+        self._palette_opts = None
+        self._palette_exec = None
+
+    @property
+    def eval_path(self) -> str:
+        """``"palette"`` when the executor is installed, else ``"dense"``."""
+        return "dense" if self._palette_opts is None else "palette"
+
+    @property
+    def palette_exec(self):
+        """The live :class:`~repro.serving.palette.PaletteLinearExec`.
+
+        ``None`` until the first palette forward builds it (or when the
+        palette path is disabled).
+        """
+        return self._palette_exec
+
+    def _palette_executor(self):
+        """The executor for the current weight version, (re)built lazily."""
+        from repro.serving.palette import PaletteLinearExec
+
+        name, tile_rows, cache = self._palette_opts
+        key = self._weight_version_key()
+        exec_ = self._palette_exec
+        if exec_ is not None and exec_.version_token == key:
+            return exec_
+        if exec_ is not None:
+            exec_.invalidate()
+        weight = self.inner.weight
+        centroids, assignments = self._hard_products()
+        # Project the palette through the weight dtype's grid so palette
+        # arithmetic consumes exactly the values the dense reconstruction
+        # (Tensor.from_numpy(..., dtype=weight.dtype)) would.
+        lut = Tensor.from_numpy(centroids, dtype=weight.dtype)._compute()
+        indices = assignments.reshape(weight.shape)
+        exec_ = PaletteLinearExec(
+            name,
+            lut,
+            indices,
+            tile_rows=tile_rows,
+            cache=cache,
+            version_token=key,
+        )
+        self._palette_exec = exec_
+        return exec_
+
+    def _palette_forward(self, x: Tensor) -> Tensor:
+        """Eval forward through the palette executor (host numpy)."""
+        exec_ = self._palette_executor()
+        weight = self.inner.weight
+        x_np = x._compute()
+        flat = x_np.reshape(-1, weight.shape[1])
+        y = exec_.matmul(flat)
+        out_np = y.reshape(*x_np.shape[:-1], weight.shape[0])
+        out = Tensor.from_numpy(
+            out_np, dtype=promote(x.dtype, weight.dtype), device=x.device
+        )
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
 
     @property
     def step_cache(self) -> StepCache:

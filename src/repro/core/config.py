@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from repro.distributed.learner import LearnerGroup
 from repro.tensor.device import CPU, GPU, Device
-from repro.tensor.dtype import DType, bfloat16
+from repro.tensor.dtype import DType, bfloat16, get_dtype
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.faults import FaultPlan
@@ -62,6 +62,47 @@ class DKMConfig:
     def n_clusters(self) -> int:
         """Codebook size ``k = 2**bits``."""
         return 2**self.bits
+
+    def to_dict(self) -> dict:
+        """A plain-primitive dict that :meth:`from_dict` rebuilds exactly.
+
+        ``weight_dtype`` serializes by name so the payload is JSON-safe
+        (the form checkpoint manifests and benchmark artifacts embed).
+        """
+        return {
+            "bits": self.bits,
+            "temperature": self.temperature,
+            "iters": self.iters,
+            "tol": self.tol,
+            "weight_dtype": self.weight_dtype.name,
+            "dense_row_chunk": self.dense_row_chunk,
+            "dense_saved_bytes_limit": self.dense_saved_bytes_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DKMConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` -- a misspelled knob in a
+        persisted artifact must fail loudly, not silently default.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown DKMConfig keys: {unknown}")
+        payload = dict(payload)
+        if "weight_dtype" in payload:
+            payload["weight_dtype"] = get_dtype(payload["weight_dtype"])
+        return cls(**payload)
+
+
+def get_default_dkm_config(**overrides) -> "DKMConfig":
+    """A fresh :class:`DKMConfig` with any field overridden by keyword.
+
+    The neural-compressor constructor idiom (``get_default_rtn_config``
+    and friends): one-knob callers still get full combination validation.
+    """
+    return DKMConfig(**overrides)
 
 
 BACKENDS = ("serial", "thread", "process")
@@ -249,6 +290,63 @@ class CompressorConfig:
             return self.task_chunk
         workers = self.resolve_workers(n_tasks)
         return max(1, -(-n_tasks // max(workers, 1)))
+
+    def to_dict(self) -> dict:
+        """A plain-primitive dict that :meth:`from_dict` rebuilds exactly.
+
+        ``skip_names`` serializes as a list (JSON has no tuples).  A
+        config with an armed ``fault_plan`` refuses to serialize: fault
+        plans are in-memory chaos-test instruments, not deployment state,
+        and silently dropping one would make a persisted artifact claim a
+        cleaner run than actually happened.
+        """
+        if self.fault_plan is not None:
+            raise ValueError(
+                "CompressorConfig with an armed fault_plan cannot be "
+                "serialized; disarm it first"
+            )
+        return {
+            "backend": self.backend,
+            "num_workers": self.num_workers,
+            "mp_context": self.mp_context,
+            "affinity": self.affinity,
+            "worker_cache_bytes_limit": self.worker_cache_bytes_limit,
+            "task_chunk": self.task_chunk,
+            "embedding_bits": self.embedding_bits,
+            "skip_names": list(self.skip_names),
+            "task_timeout_s": self.task_timeout_s,
+            "max_task_retries": self.max_task_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "max_layer_retries": self.max_layer_retries,
+            "max_pool_respawns": self.max_pool_respawns,
+            "degrade": self.degrade,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompressorConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (fail loudly on misspelled
+        knobs); ``skip_names`` round-trips list -> tuple.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown CompressorConfig keys: {unknown}")
+        payload = dict(payload)
+        if "skip_names" in payload:
+            payload["skip_names"] = tuple(payload["skip_names"])
+        return cls(**payload)
+
+
+def get_default_compressor_config(**overrides) -> "CompressorConfig":
+    """A fresh :class:`CompressorConfig` with any field overridden by keyword.
+
+    The neural-compressor constructor idiom: callers that only touch one
+    knob write ``get_default_compressor_config(backend="process")`` and
+    still get full validation of the combination.
+    """
+    return CompressorConfig(**overrides)
 
 
 SEARCH_STRATEGIES = ("graph", "storage-id", "fingerprint")

@@ -2,7 +2,7 @@
 
 from repro.llm.config import LLAMA_7B, MICRO, SMALL, TINY, ModelSpec, build_model
 from repro.llm.finetune import FinetuneConfig, TrainResult, train_causal_lm
-from repro.llm.generate import generate
+from repro.llm.generate import batched_last_logits, generate, generate_batch
 from repro.llm.tokenizer import WordTokenizer
 
 __all__ = [
@@ -15,6 +15,8 @@ __all__ = [
     "FinetuneConfig",
     "TrainResult",
     "train_causal_lm",
+    "batched_last_logits",
     "generate",
+    "generate_batch",
     "WordTokenizer",
 ]

@@ -40,18 +40,57 @@ class TrafficLedger:
         with self._lock:
             return list(self._transfers)
 
-    def total_bytes(self, src: str | None = None, dst: str | None = None) -> int:
-        return sum(t.nbytes for t in self._select(src, dst))
+    def total_bytes(
+        self,
+        src: str | None = None,
+        dst: str | None = None,
+        tag: str | None = None,
+        tag_prefix: str | None = None,
+    ) -> int:
+        return sum(t.nbytes for t in self._select(src, dst, tag, tag_prefix))
 
-    def transaction_count(self, src: str | None = None, dst: str | None = None) -> int:
-        return len(self._select(src, dst))
+    def transaction_count(
+        self,
+        src: str | None = None,
+        dst: str | None = None,
+        tag: str | None = None,
+        tag_prefix: str | None = None,
+    ) -> int:
+        return len(self._select(src, dst, tag, tag_prefix))
 
-    def _select(self, src: str | None, dst: str | None) -> list[Transfer]:
+    def by_tag(
+        self,
+        tag_prefix: str = "",
+        src: str | None = None,
+        dst: str | None = None,
+    ) -> dict[str, int]:
+        """Total bytes per tag, restricted to tags under ``tag_prefix``.
+
+        The serving layer's per-request accounting: transfers are tagged
+        ``serve:req<id>``, so ``by_tag("serve:req")`` yields one row per
+        request.  Endpoint filters compose the same way as
+        :meth:`total_bytes`.
+        """
+        totals: dict[str, int] = {}
+        for t in self._select(src, dst, None, tag_prefix):
+            totals[t.tag] = totals.get(t.tag, 0) + t.nbytes
+        return totals
+
+    def _select(
+        self,
+        src: str | None,
+        dst: str | None,
+        tag: str | None = None,
+        tag_prefix: str | None = None,
+    ) -> list[Transfer]:
         with self._lock:
             return [
                 t
                 for t in self._transfers
-                if (src is None or t.src == src) and (dst is None or t.dst == dst)
+                if (src is None or t.src == src)
+                and (dst is None or t.dst == dst)
+                and (tag is None or t.tag == tag)
+                and (tag_prefix is None or t.tag.startswith(tag_prefix))
             ]
 
     def clear(self) -> None:

@@ -1,0 +1,66 @@
+"""Palette-aware inference serving under concurrent traffic.
+
+The deployment half of eDKM: once a model's weights are clustered, this
+package serves it -- an admission-controlled request queue
+(:mod:`repro.serving.queue`), continuous batching over length-bucketed
+decode steps (:mod:`repro.serving.batcher`), palette-aware matmul with a
+hot dequantized-tile LRU (:mod:`repro.serving.palette`), and per-request
+latency/throughput/byte accounting (:mod:`repro.serving.stats`), all
+fronted by :class:`~repro.serving.server.PaletteServer` (or the
+top-level ``repro.serve()`` convenience).
+"""
+
+from repro.serving.batcher import ContinuousBatcher, SequenceState
+from repro.serving.config import (
+    EVAL_PATHS,
+    ServingConfig,
+    get_default_serving_config,
+)
+from repro.serving.palette import (
+    PaletteLayout,
+    PaletteLinearExec,
+    TileCache,
+    TileCacheStats,
+    palette_matmul,
+)
+from repro.serving.queue import (
+    AdmissionError,
+    DeadlineExceeded,
+    RequestQueue,
+    ServerClosed,
+    ServerRequest,
+    ServingError,
+)
+from repro.serving.server import PaletteServer
+from repro.serving.stats import (
+    RequestRecord,
+    ServerStats,
+    StatsReport,
+    percentile,
+    request_tag,
+)
+
+__all__ = [
+    "EVAL_PATHS",
+    "AdmissionError",
+    "ContinuousBatcher",
+    "DeadlineExceeded",
+    "PaletteLayout",
+    "PaletteLinearExec",
+    "PaletteServer",
+    "RequestQueue",
+    "RequestRecord",
+    "SequenceState",
+    "ServerClosed",
+    "ServerRequest",
+    "ServerStats",
+    "ServingConfig",
+    "ServingError",
+    "StatsReport",
+    "TileCache",
+    "TileCacheStats",
+    "get_default_serving_config",
+    "palette_matmul",
+    "percentile",
+    "request_tag",
+]

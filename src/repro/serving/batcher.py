@@ -1,0 +1,161 @@
+"""Continuous batching: requests join and leave the decode batch per step.
+
+:class:`ContinuousBatcher` owns the set of in-flight sequences.  Each
+:meth:`ContinuousBatcher.step` aborts rows past their deadline, runs one
+length-bucketed forward over the survivors
+(:func:`repro.llm.generate.batched_last_logits`), appends one token per
+row, and retires rows that hit EOS or their token budget -- freeing
+their slots for the next :meth:`ContinuousBatcher.admit` without
+stalling the rest of the batch.  Because decoding is bucketed rather
+than padded, every row's token stream is bit-identical to a
+single-prompt :func:`repro.llm.generate.generate` call regardless of
+what other requests share its batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.llm.generate import _pick_next, batched_last_logits
+from repro.llm.tokenizer import WordTokenizer
+from repro.nn import Transformer
+from repro.serving.config import ServingConfig
+from repro.serving.queue import DeadlineExceeded, ServerRequest
+from repro.serving.stats import RequestRecord, ServerStats
+from repro.tensor.device import Device
+
+
+class SequenceState:
+    """One admitted request's decode-loop state."""
+
+    def __init__(
+        self,
+        request: ServerRequest,
+        prompt_ids: list[int],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.request = request
+        self.prompt_tokens = len(prompt_ids)
+        self.ids = list(prompt_ids)
+        self.generated: list[int] = []
+        self.budget = budget
+        self.rng = rng
+
+
+class ContinuousBatcher:
+    """Decode-step engine over at most ``config.max_batch_size`` sequences."""
+
+    def __init__(
+        self,
+        model: Transformer,
+        tokenizer: WordTokenizer,
+        config: ServingConfig,
+        device: Device | None = None,
+        stats: ServerStats | None = None,
+        on_retire: Callable[[SequenceState], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.device = device or model.embed.weight.device
+        self.stats = stats if stats is not None else ServerStats()
+        self.on_retire = on_retire
+        self.active: list[SequenceState] = []
+
+    @property
+    def free_slots(self) -> int:
+        """Batch slots available for :meth:`admit` right now."""
+        return self.config.max_batch_size - len(self.active)
+
+    def admit(self, request: ServerRequest, now: float) -> None:
+        """Add ``request`` to the running batch (a slot must be free)."""
+        if self.free_slots <= 0:
+            raise RuntimeError("admit() with no free batch slot")
+        request.scheduled_at = now
+        budget = request.max_new_tokens or self.config.max_new_tokens
+        self.active.append(
+            SequenceState(
+                request,
+                prompt_ids=self.tokenizer.encode(request.prompt, bos=True),
+                budget=budget,
+                rng=np.random.default_rng(0),
+            )
+        )
+
+    def step(self, now: float) -> int:
+        """Run one decode step over the active batch.
+
+        Returns the number of requests retired this step (completed,
+        or aborted by their deadline).  A no-op returning 0 when the
+        batch is empty.
+        """
+        if not self.active:
+            return 0
+        retired = 0
+        survivors: list[SequenceState] = []
+        for seq in self.active:
+            if seq.request.expired(now):
+                self._abort_deadline(seq, now)
+                retired += 1
+            else:
+                survivors.append(seq)
+        self.active = survivors
+        if not self.active:
+            return retired
+        windows = [seq.ids[-self.model.max_seq_len :] for seq in self.active]
+        lasts = batched_last_logits(self.model, windows, device=self.device)
+        self.stats.note_step(len(self.active))
+        survivors = []
+        for seq, last in zip(self.active, lasts):
+            next_id = _pick_next(last, self.config.temperature, seq.rng)
+            if next_id == self.tokenizer.eos_id:
+                self._finish(seq)
+                retired += 1
+                continue
+            seq.ids.append(next_id)
+            seq.generated.append(next_id)
+            seq.request.tokens_generated = len(seq.generated)
+            if len(seq.generated) >= seq.budget:
+                self._finish(seq)
+                retired += 1
+                continue
+            survivors.append(seq)
+        self.active = survivors
+        return retired
+
+    def abort_all(self, error: BaseException) -> int:
+        """Fail every in-flight sequence (server shutdown); returns count."""
+        aborted = 0
+        for seq in self.active:
+            seq.request.fail(error)
+            self.stats.note_finished(
+                RequestRecord.from_request(seq.request, seq.prompt_tokens)
+            )
+            aborted += 1
+        self.active = []
+        return aborted
+
+    def _finish(self, seq: SequenceState) -> None:
+        seq.request.complete(self.tokenizer.decode(seq.generated))
+        self.stats.note_finished(
+            RequestRecord.from_request(seq.request, seq.prompt_tokens)
+        )
+        if self.on_retire is not None:
+            self.on_retire(seq)
+
+    def _abort_deadline(self, seq: SequenceState, now: float) -> None:
+        seq.request.fail(
+            DeadlineExceeded(
+                f"request {seq.request.id} missed its deadline mid-decode"
+            ),
+            now=now,
+        )
+        self.stats.note_aborted_deadline()
+        self.stats.note_finished(
+            RequestRecord.from_request(seq.request, seq.prompt_tokens)
+        )
+        if self.on_retire is not None:
+            self.on_retire(seq)

@@ -1,0 +1,129 @@
+"""Serving-engine configuration (the neural-compressor config idiom).
+
+One keyword-only, validated dataclass plus a ``get_default_serving_config``
+constructor, mirroring the ``RTNConfig`` / ``get_default_rtn_config`` shape
+of Intel Neural Compressor's quantization front-end.  Every field is a
+primitive, so a config round-trips exactly through
+:meth:`ServingConfig.to_dict` / :meth:`ServingConfig.from_dict` -- the form
+checkpoint manifests and CI benchmark artifacts embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+EVAL_PATHS = ("palette", "dense")
+"""Eval-mode execution paths for compressed layers: ``"palette"`` runs the
+k-entry palette matmul (with the hot dequantized-tile LRU in front),
+``"dense"`` reconstructs the full hard-assigned weight and runs the
+ordinary gemm."""
+
+
+@dataclass(kw_only=True)
+class ServingConfig:
+    """Knobs of the palette-aware inference server.
+
+    Attributes:
+        max_batch_size: upper bound on sequences decoded together in one
+            continuous-batching step.  New requests join the running batch
+            between steps whenever a slot is free.
+        max_queue_depth: admission-control bound on *waiting* requests.
+            A submit against a full queue is rejected immediately with
+            :class:`~repro.serving.queue.AdmissionError` instead of
+            growing an unbounded backlog.
+        max_new_tokens: per-request generation budget used when a request
+            does not carry its own.
+        default_deadline_s: seconds after submission by which a request
+            must have *completed*; requests past their deadline are
+            rejected at schedule time (and aborted between decode steps)
+            with :class:`~repro.serving.queue.DeadlineExceeded`.  ``None``
+            (default) disables deadlines for requests that do not set one.
+        eval_path: how eval-mode ``ClusteredLinear`` layers execute their
+            matmul, one of :data:`EVAL_PATHS`.  ``"palette"`` (default)
+            computes against the ``k``-entry palette -- multiplies scale
+            with ``k``, not with dense out-features -- and fronts it with
+            the dequantized-tile LRU; ``"dense"`` materializes the full
+            hard-assigned weight (the pre-serving behavior).
+        palette_tile_rows: output rows per dequantized tile -- the unit
+            the tile LRU caches and the palette kernel processes.
+        tile_cache_bytes_limit: soft cap on bytes of dequantized tiles
+            resident across all served layers, governed exactly like
+            ``CompressorConfig.worker_cache_bytes_limit``: least recently
+            used tiles are evicted down to the budget and their rows fall
+            back to the palette kernel.  ``0`` (default) means unlimited.
+        temperature: sampling temperature for generation; ``0`` (default)
+            is greedy decoding, which is what the bit-identity gates
+            compare.
+        poll_interval_s: how long the scheduler thread sleeps waiting for
+            work when the queue is empty and no sequence is active.
+    """
+
+    max_batch_size: int = 8
+    max_queue_depth: int = 64
+    max_new_tokens: int = 16
+    default_deadline_s: float | None = None
+    eval_path: str = "palette"
+    palette_tile_rows: int = 32
+    tile_cache_bytes_limit: int = 0
+    temperature: float = 0.0
+    poll_interval_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                "default_deadline_s must be positive or None, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.eval_path not in EVAL_PATHS:
+            raise ValueError(
+                f"unknown eval_path {self.eval_path!r}; expected one of {EVAL_PATHS}"
+            )
+        if self.palette_tile_rows < 1:
+            raise ValueError(
+                f"palette_tile_rows must be >= 1, got {self.palette_tile_rows}"
+            )
+        if self.tile_cache_bytes_limit < 0:
+            raise ValueError(
+                "tile_cache_bytes_limit must be >= 0 (0 = unlimited), "
+                f"got {self.tile_cache_bytes_limit}"
+            )
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+
+    def to_dict(self) -> dict:
+        """A plain-primitive dict that :meth:`from_dict` rebuilds exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServingConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (a misspelled knob in a
+        checkpoint or CI manifest must fail loudly, not silently fall back
+        to a default).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ServingConfig keys: {unknown}")
+        return cls(**payload)
+
+
+def get_default_serving_config(**overrides) -> ServingConfig:
+    """A fresh :class:`ServingConfig`, with any field overridden by keyword.
+
+    The neural-compressor constructor idiom: callers that only touch one
+    knob write ``get_default_serving_config(max_batch_size=16)`` and still
+    get full validation of the combination.
+    """
+    return ServingConfig(**overrides)

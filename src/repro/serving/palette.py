@@ -1,0 +1,364 @@
+"""Palette-aware matmul kernels for eval-mode clustered layers.
+
+A palettized linear weight ``W`` of shape ``(out, in)`` takes at most
+``k = 2**bits`` distinct values -- the palette.  The dense eval path
+materializes ``lut[idx]`` and runs an ordinary gemm, paying
+``B * out * in`` multiplies.  The palette kernel restructures the matmul
+around the palette instead::
+
+    y[b, o] = sum_i x[b, i] * lut[idx[o, i]]
+            = sum_k lut[k] * ( sum_{i : idx[o, i] == k} x[b, i] )
+
+The inner parenthesis is a *segment sum* of activations -- additions
+only -- and the outer mixture is a ``(B, out, k) @ (k,)`` contraction:
+the multiply count scales with ``k``, not with the dense inner dimension.
+:class:`PaletteLayout` precomputes the segment structure once per weight
+version (a permutation of weight positions sorted by ``(row, palette
+entry)`` plus segment bounds), so the per-call work is one activation
+gather, one cumulative sum, and the ``k``-column mixture.
+
+In front of the kernel sits a **hot dequantized-tile LRU**
+(:class:`TileCache`): output-row tiles that keep getting hit are
+materialized back to dense and served by gemm (trading bytes for BLAS
+throughput), under a byte budget governed exactly like
+``CompressorConfig.worker_cache_bytes_limit`` -- least recently used
+tiles are evicted back to the palette path.  ``tile_cache_bytes_limit=0``
+means unlimited; a cache of ``None`` disables dequantization entirely
+(pure palette execution).
+
+Everything in this module is plain numpy on host memory -- no tensor
+autograd, no device tracking -- because it models the *deployment*
+artifact execution, not training.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _index_dtype(bound: int) -> np.dtype:
+    """Smallest unsigned dtype addressing ``bound`` distinct values."""
+    if bound <= 1 << 8:
+        return np.dtype(np.uint8)
+    if bound <= 1 << 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class PaletteLayout:
+    """Precomputed segment structure of one palettized ``(out, in)`` weight.
+
+    ``cols`` lists the *input-column* index of every weight position,
+    sorted by ``(output row, palette entry)``; ``bounds`` delimits the
+    ``out * k`` segments in that order.  Rows are contiguous prefixes of
+    the sort order, so any tile of output rows is a contiguous slice --
+    the property the tiled kernel and the dequantizer rely on.
+    """
+
+    lut: np.ndarray  # (k,) float32, already projected to the serving dtype
+    cols: np.ndarray  # (out * in,) smallest-fitting uint dtype
+    bounds: np.ndarray  # (out * k + 1,) int64, segment starts
+    out_features: int
+    in_features: int
+
+    @property
+    def k(self) -> int:
+        """Palette entries (``2**bits``)."""
+        return int(self.lut.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes of the in-memory execution layout (lut + cols + bounds)."""
+        return int(self.lut.nbytes + self.cols.nbytes + self.bounds.nbytes)
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Bytes of the minimal shippable artifact: 16-bit lut + bit-packed indices.
+
+        The execution layout (:attr:`nbytes`) trades memory for kernel
+        speed; this is what actually ships -- the eDKM deployment size
+        of ``bits/16`` of a float16 weight, plus the ``k``-entry lut.
+        """
+        bits = max(1, (self.k - 1).bit_length())
+        positions = self.out_features * self.in_features
+        return int(2 * self.k + (positions * bits + 7) // 8)
+
+    @classmethod
+    def build(cls, lut: np.ndarray, indices: np.ndarray) -> "PaletteLayout":
+        """Precompute the layout for palette ``lut`` and index matrix ``indices``.
+
+        ``indices`` is the ``(out, in)`` nearest-centroid assignment; the
+        sort is a stable counting argsort over ``row * k + idx``, so the
+        layout is deterministic for identical inputs.
+        """
+        lut = np.asarray(lut, dtype=np.float32).reshape(-1)
+        indices = np.asarray(indices)
+        if indices.ndim != 2:
+            raise ValueError(f"indices must be 2-D (out, in), got {indices.shape}")
+        out_features, in_features = indices.shape
+        k = int(lut.size)
+        if indices.size and int(indices.max()) >= k:
+            raise ValueError(
+                f"index {int(indices.max())} out of range for a {k}-entry palette"
+            )
+        keys = indices.astype(np.int64, copy=False) + (
+            np.arange(out_features, dtype=np.int64)[:, None] * k
+        )
+        flat_keys = keys.reshape(-1)
+        perm = np.argsort(flat_keys, kind="stable")
+        cols_all = np.tile(
+            np.arange(in_features, dtype=np.int64), out_features
+        )
+        cols = cols_all[perm].astype(_index_dtype(in_features))
+        counts = np.bincount(flat_keys, minlength=out_features * k)
+        bounds = np.zeros(out_features * k + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return cls(
+            lut=lut,
+            cols=cols,
+            bounds=bounds,
+            out_features=out_features,
+            in_features=in_features,
+        )
+
+    def dequantize_rows(self, row_start: int, row_end: int) -> np.ndarray:
+        """Materialize output rows ``[row_start, row_end)`` as dense float32.
+
+        The tile the LRU caches: reconstructed by scattering each
+        segment's palette value back to its input columns.
+        """
+        rows = row_end - row_start
+        k = self.k
+        seg_lo, seg_hi = row_start * k, row_end * k
+        seg_len = np.diff(self.bounds[seg_lo : seg_hi + 1])
+        values = np.repeat(np.tile(self.lut, rows), seg_len)
+        pos_lo, pos_hi = self.bounds[seg_lo], self.bounds[seg_hi]
+        cols = self.cols[pos_lo:pos_hi].astype(np.int64, copy=False)
+        row_of_pos = np.repeat(
+            np.arange(rows, dtype=np.int64), self.in_features
+        )
+        tile = np.empty((rows, self.in_features), dtype=np.float32)
+        tile[row_of_pos, cols] = values
+        return tile
+
+
+def palette_matmul(
+    x: np.ndarray,
+    layout: PaletteLayout,
+    row_start: int = 0,
+    row_end: int | None = None,
+) -> np.ndarray:
+    """``x @ W[row_start:row_end].T`` computed against the palette.
+
+    ``x`` is ``(B, in)``; the result is ``(B, rows)`` float32.  Per call:
+    one ``O(B * rows * in)`` activation gather + cumulative sum (additions,
+    accumulated in float64 so segment differences stay accurate) and an
+    ``O(B * rows * k)`` mixture against the palette -- the only multiply
+    stage, scaling with ``k`` instead of the dense inner dimension.
+    """
+    if row_end is None:
+        row_end = layout.out_features
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2 or x.shape[1] != layout.in_features:
+        raise ValueError(
+            f"x must be (B, {layout.in_features}), got {x.shape}"
+        )
+    rows = row_end - row_start
+    k = layout.k
+    seg_lo, seg_hi = row_start * k, row_end * k
+    pos_lo, pos_hi = layout.bounds[seg_lo], layout.bounds[seg_hi]
+    cols = layout.cols[pos_lo:pos_hi].astype(np.int64, copy=False)
+    gathered = x[:, cols]
+    csum = np.zeros((x.shape[0], gathered.shape[1] + 1), dtype=np.float64)
+    np.cumsum(gathered, axis=1, dtype=np.float64, out=csum[:, 1:])
+    seg_bounds = (layout.bounds[seg_lo : seg_hi + 1] - pos_lo).astype(np.int64)
+    seg_sums = csum[:, seg_bounds[1:]] - csum[:, seg_bounds[:-1]]  # (B, rows*k)
+    mixed = seg_sums.reshape(x.shape[0], rows, k) @ layout.lut.astype(np.float64)
+    return mixed.astype(np.float32)
+
+
+@dataclass
+class TileCacheStats:
+    """Hit/miss/eviction counters of one :class:`TileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for stats reports and benchmark artifacts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+
+class TileCache:
+    """LRU of hot dequantized weight tiles under a byte budget.
+
+    Shared across every served layer (keys carry the layer name), so the
+    budget is global like ``worker_cache_bytes_limit``.  Thread-safe: the
+    scheduler thread and any caller probing stats may race.
+    """
+
+    def __init__(self, bytes_limit: int = 0) -> None:
+        if bytes_limit < 0:
+            raise ValueError(f"bytes_limit must be >= 0, got {bytes_limit}")
+        self.bytes_limit = bytes_limit
+        self._lock = threading.Lock()
+        self._tiles: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._resident_bytes = 0
+        self.stats = TileCacheStats()
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        """The tile under ``key`` (refreshing recency), or ``None``."""
+        with self._lock:
+            tile = self._tiles.get(key)
+            if tile is None:
+                self.stats.misses += 1
+                return None
+            self._tiles.move_to_end(key)
+            self.stats.hits += 1
+            return tile
+
+    def put(self, key: tuple, tile: np.ndarray) -> None:
+        """Insert ``tile``, evicting LRU entries beyond the byte budget.
+
+        A tile larger than the whole budget is not admitted at all --
+        the caller keeps serving it through the palette kernel.
+        """
+        nbytes = int(tile.nbytes)
+        if self.bytes_limit and nbytes > self.bytes_limit:
+            return
+        with self._lock:
+            old = self._tiles.pop(key, None)
+            if old is not None:
+                self._resident_bytes -= int(old.nbytes)
+            self._tiles[key] = tile
+            self._resident_bytes += nbytes
+            self.stats.puts += 1
+            if self.bytes_limit:
+                # The just-inserted tile fits the budget (admission above),
+                # so evicting strictly-older entries always terminates.
+                while self._resident_bytes > self.bytes_limit and len(self._tiles) > 1:
+                    _, evicted = self._tiles.popitem(last=False)
+                    self._resident_bytes -= int(evicted.nbytes)
+                    self.stats.evictions += 1
+
+    def invalidate_prefix(self, prefix: tuple) -> None:
+        """Drop every tile whose key starts with ``prefix`` (stale version)."""
+        with self._lock:
+            stale = [k for k in self._tiles if k[: len(prefix)] == prefix]
+            for key in stale:
+                self._resident_bytes -= int(self._tiles.pop(key).nbytes)
+
+    def resident_bytes(self) -> int:
+        """Bytes currently held by resident tiles."""
+        with self._lock:
+            return self._resident_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tiles)
+
+
+@dataclass
+class PaletteExecStats:
+    """Per-layer execution counters: which path served how many rows."""
+
+    palette_row_blocks: int = 0
+    dense_row_blocks: int = 0
+    calls: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for stats reports and benchmark artifacts."""
+        return {
+            "palette_row_blocks": self.palette_row_blocks,
+            "dense_row_blocks": self.dense_row_blocks,
+            "calls": self.calls,
+        }
+
+
+class PaletteLinearExec:
+    """One eval-mode layer's palette executor: tiled kernel + LRU front.
+
+    Built from the layer's converged palette (``lut`` already projected to
+    the serving weight dtype, so palette arithmetic consumes exactly the
+    values the dense reconstruction path would) and keyed by the caller on
+    the weight storage version -- a weight write invalidates the executor
+    wholesale, never silently serves stale tiles.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lut: np.ndarray,
+        indices: np.ndarray,
+        tile_rows: int = 32,
+        cache: TileCache | None = None,
+        version_token: object = None,
+    ) -> None:
+        self.name = name
+        self.layout = PaletteLayout.build(lut, indices)
+        self.tile_rows = max(1, int(tile_rows))
+        self.cache = cache
+        self.version_token = version_token
+        self.stats = PaletteExecStats()
+
+    @property
+    def nbytes(self) -> int:
+        """Execution-layout bytes resident for this layer (tiles are cache)."""
+        return self.layout.nbytes
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Minimal shippable artifact bytes (see :attr:`PaletteLayout.packed_nbytes`)."""
+        return self.layout.packed_nbytes
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W.T`` over all output rows, tile by tile.
+
+        Resident tiles run dense gemm; misses run the palette kernel and
+        (when a cache is attached) dequantize the tile for next time.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        out = np.empty((x.shape[0], self.layout.out_features), dtype=np.float32)
+        self.stats.calls += 1
+        for tile_idx, row_start in enumerate(
+            range(0, self.layout.out_features, self.tile_rows)
+        ):
+            row_end = min(row_start + self.tile_rows, self.layout.out_features)
+            tile = None
+            if self.cache is not None:
+                key = (self.name, self.version_token, tile_idx)
+                tile = self.cache.get(key)
+                if tile is None:
+                    tile = self.layout.dequantize_rows(row_start, row_end)
+                    self.cache.put(key, tile)
+                    self.stats.palette_row_blocks += 1
+                    out[:, row_start:row_end] = palette_matmul(
+                        x, self.layout, row_start, row_end
+                    )
+                    continue
+            if tile is not None:
+                self.stats.dense_row_blocks += 1
+                out[:, row_start:row_end] = x @ tile.T
+            else:
+                self.stats.palette_row_blocks += 1
+                out[:, row_start:row_end] = palette_matmul(
+                    x, self.layout, row_start, row_end
+                )
+        return out
+
+    def invalidate(self) -> None:
+        """Drop this layer's cached tiles (weight version moved on)."""
+        if self.cache is not None:
+            self.cache.invalidate_prefix((self.name, self.version_token))

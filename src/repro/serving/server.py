@@ -1,0 +1,307 @@
+"""The palette-aware inference server: queue + batcher + palette kernels.
+
+:class:`PaletteServer` is the deployment-shaped front door the north
+star names: clients :meth:`PaletteServer.submit` prompts from any
+thread, a scheduler thread drains the admission-controlled
+:class:`~repro.serving.queue.RequestQueue` into the
+:class:`~repro.serving.batcher.ContinuousBatcher`, and eval-mode
+:class:`~repro.core.compressor.ClusteredLinear` layers execute through
+the palette kernels (:mod:`repro.serving.palette`) with a shared
+hot-tile LRU.  Per-request bytes flow into
+:mod:`repro.memory.traffic` under ``serve:`` tags, and
+:meth:`PaletteServer.stats` renders everything into a
+:class:`~repro.serving.stats.StatsReport`.
+
+Byte accounting convention: prompt and completion text bytes are
+recorded per request (``serve:req<id>`` tags, endpoints
+``client <-> server``); weight bytes *read per decode step* are
+recorded under ``serve:weights`` with ``dst="flops"`` -- palette-path
+layers charge their deployable layout bytes (lut + packed indices),
+dense-path layers their 16-bit weight bytes, so compressed and
+uncompressed scenarios are comparable at a glance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.compressor import ClusteredLinear
+from repro.llm.tokenizer import WordTokenizer
+from repro.memory.traffic import TrafficLedger, global_ledger
+from repro.nn import Transformer
+from repro.serving.batcher import ContinuousBatcher, SequenceState
+from repro.serving.config import ServingConfig, get_default_serving_config
+from repro.serving.palette import TileCache
+from repro.serving.queue import (
+    AdmissionError,
+    RequestQueue,
+    ServerClosed,
+    ServerRequest,
+)
+from repro.serving.stats import (
+    RequestRecord,
+    ServerStats,
+    StatsReport,
+    request_tag,
+)
+from repro.tensor.device import Device
+
+WEIGHT_TAG = "serve:weights"
+"""Ledger tag of per-step weight-read records (``dst="flops"``)."""
+
+
+class PaletteServer:
+    """Concurrent generation server over a (possibly compressed) model.
+
+    The model is switched to eval mode on construction; when
+    ``config.eval_path == "palette"`` every :class:`ClusteredLinear` in
+    it is routed through the palette executor with one shared
+    :class:`TileCache` budgeted by ``config.tile_cache_bytes_limit``.
+    Use as a context manager, or pair :meth:`start` with :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        tokenizer: WordTokenizer,
+        config: ServingConfig | None = None,
+        device: Device | None = None,
+        ledger: TrafficLedger | None = None,
+    ) -> None:
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config or get_default_serving_config()
+        self.ledger = ledger if ledger is not None else global_ledger()
+        self.stats_acc = ServerStats()
+        self.queue = RequestQueue(self.config.max_queue_depth)
+        self.tile_cache = TileCache(self.config.tile_cache_bytes_limit)
+        self.batcher = ContinuousBatcher(
+            model,
+            tokenizer,
+            self.config,
+            device=device,
+            stats=self.stats_acc,
+            on_retire=self._on_retire,
+        )
+        self._palette_layers: list[tuple[str, ClusteredLinear]] = []
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+        model.eval()
+        if self.config.eval_path == "palette":
+            self._install_palette()
+        # Dense-path clustered layers charge their full 16-bit weight per
+        # step; the total is fixed, so compute it once.
+        self._dense_weight_bytes = sum(
+            2 * module.inner.weight.numel
+            for _, module in model.named_modules()
+            if isinstance(module, ClusteredLinear)
+            and module.eval_path == "dense"
+        )
+
+    # ------------------------------------------------------------------
+    # Palette installation
+    # ------------------------------------------------------------------
+
+    def _install_palette(self) -> None:
+        for name, module in self.model.named_modules():
+            if isinstance(module, ClusteredLinear):
+                module.enable_palette_eval(
+                    name=name,
+                    tile_rows=self.config.palette_tile_rows,
+                    cache=self.tile_cache,
+                )
+                self._palette_layers.append((name, module))
+
+    def _uninstall_palette(self) -> None:
+        for _, module in self._palette_layers:
+            module.disable_palette_eval()
+        self._palette_layers = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler thread is alive and accepting work."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "PaletteServer":
+        """Start the scheduler thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self.stats_acc.started_at = self._started_at
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="palette-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the scheduler; fail queued and in-flight requests."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self._stopped_at = time.monotonic()
+        self.stats_acc.stopped_at = self._stopped_at
+        closed = ServerClosed("server stopped before completing this request")
+        for request in self.queue.drain(closed):
+            self.stats_acc.note_finished(RequestRecord.from_request(request, 0))
+        self.batcher.abort_all(closed)
+
+    def close(self) -> None:
+        """Stop the server and restore the dense eval path."""
+        self.stop()
+        self._uninstall_palette()
+
+    def __enter__(self) -> "PaletteServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> ServerRequest:
+        """Enqueue ``prompt``; returns the request future immediately.
+
+        Raises :class:`AdmissionError` when the queue is at
+        ``max_queue_depth`` and :class:`ServerClosed` when the server is
+        not running.  ``deadline_s`` (or the config default) is measured
+        from *submission* and covers queue wait plus decoding.
+        """
+        if not self.running:
+            raise ServerClosed("submit() on a server that is not running")
+        now = time.monotonic()
+        budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
+        request = ServerRequest(
+            prompt,
+            max_new_tokens=max_new_tokens or self.config.max_new_tokens,
+            deadline=None if budget is None else now + budget,
+            now=now,
+        )
+        try:
+            self.queue.submit(request)
+        except AdmissionError:
+            self.stats_acc.note_rejected_admission()
+            raise
+        self.stats_acc.note_submitted()
+        self.ledger.record(
+            "client",
+            "server",
+            len(prompt.encode("utf-8")),
+            tag=request_tag(request.id),
+        )
+        return request
+
+    def generate(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        timeout: float | None = 60.0,
+    ) -> str:
+        """Submit ``prompt`` and block for its completion text."""
+        return self.submit(
+            prompt, max_new_tokens=max_new_tokens, deadline_s=deadline_s
+        ).result(timeout)
+
+    def stats(self) -> StatsReport:
+        """The aggregate report over the server's running window so far."""
+        if self._started_at is None:
+            wall = 0.0
+        else:
+            end = self._stopped_at if self._stopped_at is not None else time.monotonic()
+            wall = end - self._started_at
+        return self.stats_acc.report(wall, ledger=self.ledger)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            free = self.batcher.free_slots
+            if free > 0:
+                admitted, expired = self.queue.take(free, now)
+                if expired:
+                    self.stats_acc.note_rejected_deadline(len(expired))
+                    for request in expired:
+                        self.stats_acc.note_finished(
+                            RequestRecord.from_request(request, 0)
+                        )
+                for request in admitted:
+                    self.batcher.admit(request, now)
+            if self.batcher.active:
+                before = self._weight_block_snapshot()
+                self.batcher.step(time.monotonic())
+                self._record_step_weights(before)
+            else:
+                self.queue.wait_nonempty(self.config.poll_interval_s)
+
+    # ------------------------------------------------------------------
+    # Byte accounting
+    # ------------------------------------------------------------------
+
+    def _on_retire(self, seq: SequenceState) -> None:
+        """Ledger the completion bytes of a retired sequence."""
+        text = "" if seq.request.error is not None else self.tokenizer.decode(
+            seq.generated
+        )
+        self.ledger.record(
+            "server",
+            "client",
+            len(text.encode("utf-8")),
+            tag=request_tag(seq.request.id),
+        )
+
+    def _weight_block_snapshot(self) -> dict[str, tuple[int, int]]:
+        """Per-layer (palette_row_blocks, dense_row_blocks) counters now."""
+        snapshot: dict[str, tuple[int, int]] = {}
+        for name, module in self._palette_layers:
+            exec_ = module.palette_exec
+            if exec_ is not None:
+                snapshot[name] = (
+                    exec_.stats.palette_row_blocks,
+                    exec_.stats.dense_row_blocks,
+                )
+        return snapshot
+
+    def _record_step_weights(self, before: dict[str, tuple[int, int]]) -> None:
+        """Ledger the weight bytes one decode step read.
+
+        Palette blocks charge their share of the deployable layout (lut +
+        packed indices); dense blocks charge the dequantized tile bytes.
+        Layers still on the dense eval path (``eval_path == "dense"``)
+        charge their full 16-bit weight each step.
+        """
+        nbytes = 0
+        for name, module in self._palette_layers:
+            exec_ = module.palette_exec
+            if exec_ is None:
+                continue
+            layout = exec_.layout
+            n_blocks = -(-layout.out_features // exec_.tile_rows)
+            pal_before, dense_before = before.get(name, (0, 0))
+            pal_blocks = exec_.stats.palette_row_blocks - pal_before
+            dense_blocks = exec_.stats.dense_row_blocks - dense_before
+            nbytes += pal_blocks * (layout.nbytes // max(1, n_blocks))
+            nbytes += dense_blocks * exec_.tile_rows * layout.in_features * 4
+        nbytes += self._dense_weight_bytes
+        if nbytes:
+            self.ledger.record("weights", "flops", nbytes, tag=WEIGHT_TAG)

@@ -1,0 +1,591 @@
+"""Serving subsystem tests: queue, palette kernels, batching, server, facade.
+
+The load-bearing guarantees under test:
+
+- batched generation is *bit-identical* to one-at-a-time generation
+  (length-bucketed, never padded);
+- the palette eval path produces the same tokens as dense
+  reconstruction, sequentially and under concurrent multi-client load;
+- ``ClusteredLinear``'s eval caches key on the weight's storage version,
+  so an in-place weight update in eval mode is never served stale;
+- admission control bounds the queue and deadlines reject late work;
+- every serving byte flows through the traffic ledger under ``serve:``
+  tags.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+import repro.nn as nn
+import repro.tensor as rt
+from repro.core import (
+    CompressorConfig,
+    DKMConfig,
+    FaultPlan,
+    ModelCompressor,
+    get_default_compressor_config,
+    get_default_dkm_config,
+)
+from repro.core.compressor import ClusteredLinear
+from repro.llm import MICRO, build_model, generate, generate_batch
+from repro.llm.generate import batched_last_logits
+from repro.memory.traffic import TrafficLedger
+from repro.tensor.autograd import no_grad
+from repro.serving import (
+    AdmissionError,
+    DeadlineExceeded,
+    PaletteLayout,
+    PaletteServer,
+    RequestQueue,
+    ServerClosed,
+    ServerRequest,
+    ServingConfig,
+    TileCache,
+    get_default_serving_config,
+    palette_matmul,
+    percentile,
+    request_tag,
+)
+
+MAX_NEW = 6
+
+
+def _request(deadline=None, now=0.0, max_new_tokens=4):
+    return ServerRequest("p", max_new_tokens, deadline=deadline, now=now)
+
+
+class TestRequestQueue:
+    def test_admission_bound(self):
+        queue = RequestQueue(max_depth=2)
+        queue.submit(_request())
+        queue.submit(_request())
+        with pytest.raises(AdmissionError):
+            queue.submit(_request())
+        assert queue.rejected_full == 1
+        assert len(queue) == 2
+
+    def test_take_skips_expired_without_consuming_slots(self):
+        queue = RequestQueue(max_depth=8)
+        late = _request(deadline=5.0, now=0.0)
+        live = _request(deadline=None, now=0.0)
+        queue.submit(late)
+        queue.submit(live)
+        admitted, expired = queue.take(limit=1, now=10.0)
+        assert admitted == [live]
+        assert expired == [late]
+        assert late.done and not late.ok
+        with pytest.raises(DeadlineExceeded):
+            late.result(timeout=0)
+
+    def test_drain_fails_pending(self):
+        queue = RequestQueue(max_depth=4)
+        request = queue.submit(_request())
+        drained = queue.drain(ServerClosed("bye"))
+        assert drained == [request]
+        assert len(queue) == 0
+        with pytest.raises(ServerClosed):
+            request.result(timeout=0)
+
+    def test_result_timeout_and_completion(self):
+        request = _request()
+        with pytest.raises(TimeoutError):
+            request.result(timeout=0.01)
+        request.complete("out", now=3.0)
+        assert request.ok and request.done
+        assert request.result(timeout=0) == "out"
+        assert request.latency_s == 3.0
+
+    def test_queue_wait_requires_scheduling(self):
+        request = _request(now=1.0)
+        assert request.queue_wait_s is None
+        request.scheduled_at = 1.5
+        assert request.queue_wait_s == 0.5
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile([7.0], 50) == 7.0
+
+
+class TestPaletteKernel:
+    def _layout(self, out=8, in_f=16, k=4, seed=0):
+        rng = np.random.default_rng(seed)
+        lut = rng.standard_normal(k).astype(np.float32)
+        indices = rng.integers(0, k, size=(out, in_f))
+        return lut, indices, PaletteLayout.build(lut, indices)
+
+    def test_dequantize_rows_exact(self):
+        lut, indices, layout = self._layout()
+        np.testing.assert_array_equal(
+            layout.dequantize_rows(2, 6), lut[indices[2:6]]
+        )
+
+    def test_palette_matmul_matches_dense(self):
+        lut, indices, layout = self._layout(out=12, in_f=32, k=8)
+        x = np.random.default_rng(1).standard_normal((5, 32)).astype(np.float32)
+        dense = x @ lut[indices].T
+        np.testing.assert_allclose(palette_matmul(x, layout), dense, atol=1e-5)
+        np.testing.assert_allclose(
+            palette_matmul(x, layout, row_start=3, row_end=9),
+            dense[:, 3:9],
+            atol=1e-5,
+        )
+
+    @pytest.mark.parametrize("dtype", ["float16", "bfloat16", "float32"])
+    def test_palette_matmul_across_lut_dtypes(self, dtype):
+        # The lut is projected to the serving dtype before layout build;
+        # the kernel must agree with dense reconstruction of that same
+        # projected lut for every weight dtype the models use.
+        rng = np.random.default_rng(2)
+        raw = rng.standard_normal(8)
+        if dtype == "bfloat16":
+            lut = rt.Tensor.from_numpy(raw, dtype=rt.bfloat16)._compute()
+        else:
+            lut = raw.astype(np.float16).astype(np.float32) if dtype == "float16" else raw.astype(np.float32)
+        lut = np.asarray(lut, dtype=np.float32)
+        indices = rng.integers(0, 8, size=(10, 24))
+        layout = PaletteLayout.build(lut, indices)
+        x = rng.standard_normal((3, 24)).astype(np.float32)
+        np.testing.assert_allclose(
+            palette_matmul(x, layout), x @ lut[indices].T, atol=1e-5
+        )
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PaletteLayout.build(np.zeros(4, np.float32), np.zeros(8, np.int64))
+        with pytest.raises(ValueError, match="out of range"):
+            PaletteLayout.build(
+                np.zeros(4, np.float32), np.full((2, 3), 4, np.int64)
+            )
+
+    def test_packed_artifact_smaller_than_fp16(self):
+        _, _, layout = self._layout(out=64, in_f=64, k=16)
+        assert layout.packed_nbytes < 2 * 64 * 64
+
+
+class TestTileCache:
+    def _tile(self, fill, rows=2, cols=4):
+        return np.full((rows, cols), fill, dtype=np.float32)  # 32 bytes
+
+    def test_lru_eviction_under_budget(self):
+        cache = TileCache(bytes_limit=64)  # room for two 32-byte tiles
+        cache.put(("a", 0, 0), self._tile(0.0))
+        cache.put(("a", 0, 1), self._tile(1.0))
+        assert cache.get(("a", 0, 0)) is not None  # 0 is now most recent
+        cache.put(("a", 0, 2), self._tile(2.0))  # evicts 1, the LRU
+        assert cache.get(("a", 0, 1)) is None
+        assert cache.get(("a", 0, 0)) is not None
+        assert cache.resident_bytes() == 64
+        assert cache.stats.evictions == 1
+
+    def test_oversize_tile_refused(self):
+        cache = TileCache(bytes_limit=16)
+        cache.put(("a", 0, 0), self._tile(0.0))  # 32 > 16
+        assert cache.get(("a", 0, 0)) is None
+        assert cache.resident_bytes() == 0
+
+    def test_unlimited_budget(self):
+        cache = TileCache(bytes_limit=0)
+        for i in range(10):
+            cache.put(("a", 0, i), self._tile(float(i)))
+        assert cache.resident_bytes() == 320
+        assert cache.stats.evictions == 0
+
+    def test_invalidate_prefix(self):
+        cache = TileCache()
+        cache.put(("layer0", 7, 0), self._tile(0.0))
+        cache.put(("layer0", 8, 0), self._tile(1.0))
+        cache.put(("layer1", 7, 0), self._tile(2.0))
+        cache.invalidate_prefix(("layer0", 7))
+        assert cache.get(("layer0", 7, 0)) is None
+        assert cache.get(("layer0", 8, 0)) is not None
+        assert cache.get(("layer1", 7, 0)) is not None
+
+
+@pytest.fixture(scope="module")
+def plain_model(tokenizer):
+    model = build_model(MICRO, vocab_size=tokenizer.vocab_size, seed=0)
+    model.to(rt.GPU)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def served_model(tokenizer, trained_state):
+    """A trained, compressed MICRO model shared by the server tests.
+
+    Module-scoped: compression clusters every layer once.  Tests must not
+    mutate weights or module structure (``PaletteServer.close`` restores
+    the dense eval path, so serving itself is safe).
+    """
+    model = build_model(MICRO, vocab_size=tokenizer.vocab_size, seed=0)
+    model.to(rt.GPU)
+    for name, param in model.state_dict().items():
+        param.copy_(trained_state[name])
+    ModelCompressor(DKMConfig(bits=4)).compress(model)
+    model.eval()
+    return model
+
+
+PROMPTS = [
+    "alice lives in",
+    "the capital of",
+    "bob",
+    "carol works as a",
+    "where does alice",
+    "the",
+]
+
+
+class TestBatchedGeneration:
+    def test_batch_matches_singles_greedy(self, plain_model, tokenizer):
+        singles = [
+            generate(plain_model, tokenizer, p, max_new_tokens=MAX_NEW)
+            for p in PROMPTS
+        ]
+        batch = generate_batch(
+            plain_model, tokenizer, PROMPTS, max_new_tokens=MAX_NEW
+        )
+        assert batch == singles
+
+    def test_batch_matches_singles_with_temperature(self, plain_model, tokenizer):
+        singles = [
+            generate(
+                plain_model,
+                tokenizer,
+                p,
+                max_new_tokens=MAX_NEW,
+                temperature=0.8,
+                rng=np.random.default_rng(100 + i),
+            )
+            for i, p in enumerate(PROMPTS[:3])
+        ]
+        batch = generate_batch(
+            plain_model,
+            tokenizer,
+            PROMPTS[:3],
+            max_new_tokens=MAX_NEW,
+            temperature=0.8,
+            rngs=[np.random.default_rng(100 + i) for i in range(3)],
+        )
+        assert batch == singles
+
+    def test_window_truncation_matches_single(self, plain_model, tokenizer):
+        long_prompt = " ".join(["alice"] * (plain_model.max_seq_len + 5))
+        single = generate(plain_model, tokenizer, long_prompt, max_new_tokens=3)
+        batch = generate_batch(
+            plain_model, tokenizer, [long_prompt, "bob"], max_new_tokens=3
+        )
+        assert batch[0] == single
+
+    def test_batched_last_logits_matches_per_row(self, plain_model, tokenizer):
+        windows = [
+            tokenizer.encode(p, bos=True) for p in ("alice lives", "the", "bob is")
+        ]
+        batched = batched_last_logits(plain_model, windows)
+        for window, got in zip(windows, batched):
+            tokens = rt.Tensor.from_numpy(
+                np.asarray([window], dtype=np.int64), device=rt.GPU
+            )
+            expected = plain_model(tokens)._compute()[0, len(window) - 1]
+            np.testing.assert_array_equal(got, expected)
+
+    def test_empty_window_raises(self, plain_model):
+        with pytest.raises(ValueError):
+            batched_last_logits(plain_model, [[]])
+
+
+class TestConfigRoundTrips:
+    def test_serving_round_trip(self):
+        config = ServingConfig(max_batch_size=3, eval_path="dense")
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_serving_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown ServingConfig keys"):
+            ServingConfig.from_dict({"max_batch_sz": 3})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_batch_size": 0},
+            {"max_queue_depth": 0},
+            {"eval_path": "sparse"},
+            {"tile_cache_bytes_limit": -1},
+            {"temperature": -0.1},
+            {"default_deadline_s": 0.0},
+        ],
+    )
+    def test_serving_validation(self, bad):
+        with pytest.raises(ValueError):
+            get_default_serving_config(**bad)
+
+    def test_default_constructors_apply_overrides(self):
+        assert get_default_serving_config(max_batch_size=16).max_batch_size == 16
+        assert get_default_dkm_config(bits=2).bits == 2
+        assert get_default_compressor_config(backend="serial").backend == "serial"
+
+    def test_dkm_round_trip_includes_dtype(self):
+        config = get_default_dkm_config(bits=2, weight_dtype=rt.bfloat16)
+        payload = config.to_dict()
+        assert payload["weight_dtype"] == "bfloat16"
+        assert DKMConfig.from_dict(payload) == config
+        with pytest.raises(ValueError, match="unknown"):
+            DKMConfig.from_dict({"bitz": 3})
+
+    def test_compressor_round_trip(self):
+        config = get_default_compressor_config(backend="serial", skip_names=("lm_head",))
+        rebuilt = CompressorConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_armed_fault_plan_refuses_serialization(self):
+        config = CompressorConfig(fault_plan=FaultPlan())
+        with pytest.raises(ValueError, match="fault_plan"):
+            config.to_dict()
+
+
+class TestHardWeightVersioning:
+    def _wrapped(self, seed=0):
+        layer = nn.Linear(16, 12, bias=True, rng=np.random.default_rng(seed))
+        layer.to("gpu")
+        wrapped = ClusteredLinear(layer, DKMConfig(bits=3))
+        wrapped.eval()
+        return wrapped
+
+    def _x(self):
+        return rt.Tensor.from_numpy(
+            np.random.default_rng(1).standard_normal((4, 16)).astype(np.float32),
+            device="gpu",
+        )
+
+    def test_eval_output_tracks_inplace_weight_update(self):
+        # Regression: the eval-mode hard-weight cache used to be cleared
+        # only by train(), so copy_() in eval mode served stale weights.
+        wrapped = self._wrapped()
+        x = self._x()
+        before = wrapped(x).numpy().copy()
+        wrapped.inner.weight.copy_(
+            np.random.default_rng(9)
+            .standard_normal((12, 16))
+            .astype(np.float32)
+        )
+        after = wrapped(x).numpy()
+        assert not np.allclose(before, after)
+
+    def test_hard_weight_cache_keys_on_storage_version(self):
+        wrapped = self._wrapped()
+        first = wrapped._hard_weight()
+        assert wrapped._hard_weight() is first  # unchanged weight: reused
+        wrapped.inner.weight.copy_(wrapped.inner.weight.numpy() * 1.5)
+        assert wrapped._hard_weight() is not first
+
+    def test_palette_path_tracks_weight_update(self):
+        # The palette path only runs for detached (no_grad) eval forwards.
+        wrapped = self._wrapped()
+        wrapped.enable_palette_eval(name="layer", cache=TileCache())
+        x = self._x()
+        with no_grad():
+            before = wrapped(x).numpy().copy()
+            exec_before = wrapped.palette_exec
+            assert exec_before is not None
+            wrapped.inner.weight.copy_(
+                np.random.default_rng(9)
+                .standard_normal((12, 16))
+                .astype(np.float32)
+            )
+            after = wrapped(x).numpy()
+        assert wrapped.palette_exec is not exec_before
+        assert not np.allclose(before, after)
+        wrapped.disable_palette_eval()
+        assert wrapped.eval_path == "dense"
+
+    def test_palette_matches_dense_forward(self):
+        wrapped = self._wrapped()
+        x = self._x()
+        with no_grad():
+            dense = wrapped(x).numpy().copy()
+            wrapped.enable_palette_eval(name="layer", cache=TileCache())
+            palette = wrapped(x).numpy()
+        wrapped.disable_palette_eval()
+        np.testing.assert_allclose(palette, dense, atol=1e-4)
+
+    def test_grad_enabled_forward_keeps_dense_path(self):
+        wrapped = self._wrapped()
+        wrapped.enable_palette_eval(name="layer", cache=TileCache())
+        wrapped(self._x())  # grad enabled: palette path must not engage
+        assert wrapped.palette_exec is None
+        wrapped.disable_palette_eval()
+
+
+class TestPaletteServer:
+    def _offline(self, model, tokenizer):
+        return [
+            generate(model, tokenizer, p, max_new_tokens=MAX_NEW) for p in PROMPTS
+        ]
+
+    def test_sequential_matches_offline_dense(self, served_model, tokenizer):
+        offline = self._offline(served_model, tokenizer)
+        config = ServingConfig(max_batch_size=4)
+        with PaletteServer(served_model, tokenizer, config=config) as server:
+            got = [server.generate(p, max_new_tokens=MAX_NEW) for p in PROMPTS]
+        assert got == offline
+        assert all(
+            module.eval_path == "dense"
+            for _, module in served_model.named_modules()
+            if isinstance(module, ClusteredLinear)
+        )
+
+    def test_concurrent_matches_offline(self, served_model, tokenizer):
+        offline = self._offline(served_model, tokenizer)
+        results: list[str | None] = [None] * len(PROMPTS)
+        config = ServingConfig(max_batch_size=4)
+        with PaletteServer(served_model, tokenizer, config=config) as server:
+
+            def client(indices):
+                for i in indices:
+                    results[i] = server.generate(
+                        PROMPTS[i], max_new_tokens=MAX_NEW, timeout=120.0
+                    )
+
+            threads = [
+                threading.Thread(target=client, args=([i, i + 3],))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == offline
+
+    def test_tile_budget_eviction_preserves_tokens(self, served_model, tokenizer):
+        offline = self._offline(served_model, tokenizer)
+        config = ServingConfig(max_batch_size=4, tile_cache_bytes_limit=1 << 14)
+        with PaletteServer(served_model, tokenizer, config=config) as server:
+            got = [server.generate(p, max_new_tokens=MAX_NEW) for p in PROMPTS]
+            stats = server.tile_cache.stats
+            assert stats.evictions > 0  # the budget actually binds
+        assert got == offline
+
+    def test_stats_and_ledger_accounting(self, served_model, tokenizer):
+        ledger = TrafficLedger()
+        config = ServingConfig(max_batch_size=4)
+        server = PaletteServer(served_model, tokenizer, config=config, ledger=ledger)
+        with server:
+            requests = [server.submit(p, max_new_tokens=MAX_NEW) for p in PROMPTS]
+            for request in requests:
+                request.result(timeout=120.0)
+            report = server.stats()
+        assert report.submitted == len(PROMPTS)
+        assert report.completed == len(PROMPTS)
+        assert report.decode_steps > 0
+        assert report.mean_batch_occupancy > 0
+        assert report.tokens_generated == sum(r.tokens_generated for r in requests)
+        assert report.weight_bytes_read > 0
+        assert report.activation_bytes > 0
+        per_request = ledger.by_tag("serve:req")
+        assert set(per_request) == {request_tag(r.id) for r in requests}
+        assert all(nbytes > 0 for nbytes in per_request.values())
+
+    def test_admission_burst_is_shed_and_accounted(self, served_model, tokenizer):
+        config = ServingConfig(
+            max_batch_size=1, max_queue_depth=1, poll_interval_s=0.001
+        )
+        with PaletteServer(served_model, tokenizer, config=config) as server:
+            accepted, rejected = [], 0
+            for _ in range(8):
+                try:
+                    accepted.append(server.submit(PROMPTS[0], max_new_tokens=3))
+                except AdmissionError:
+                    rejected += 1
+            for request in accepted:
+                request.result(timeout=120.0)
+            report = server.stats()
+        assert rejected > 0
+        assert rejected + len(accepted) == 8
+        assert report.rejected_admission == rejected
+        assert report.completed == len(accepted)
+
+    def test_microscopic_deadline_rejected(self, served_model, tokenizer):
+        with PaletteServer(served_model, tokenizer) as server:
+            request = server.submit(PROMPTS[0], max_new_tokens=3, deadline_s=1e-6)
+            with pytest.raises(DeadlineExceeded):
+                request.result(timeout=120.0)
+            assert server.stats().rejected_deadline + server.stats().aborted_deadline >= 1
+
+    def test_submit_when_not_running_raises(self, served_model, tokenizer):
+        server = PaletteServer(served_model, tokenizer)
+        try:
+            with pytest.raises(ServerClosed):
+                server.submit("hi")
+        finally:
+            server.close()
+
+    def test_stop_fails_queued_requests(self, served_model, tokenizer):
+        config = ServingConfig(max_batch_size=1, poll_interval_s=0.001)
+        server = PaletteServer(served_model, tokenizer, config=config)
+        server.start()
+        requests = [server.submit(p, max_new_tokens=2) for p in PROMPTS[:4]]
+        server.close()
+        for request in requests:
+            assert request.done
+            if not request.ok:
+                assert isinstance(request.error, (ServerClosed, DeadlineExceeded))
+
+
+class TestFacade:
+    def test_compress_wraps_linears(self, tokenizer):
+        model = build_model(MICRO, vocab_size=tokenizer.vocab_size, seed=0)
+        model.to(rt.GPU)
+        compressor = repro.compress(model, bits=3)
+        assert isinstance(compressor, ModelCompressor)
+        clustered = [
+            m for _, m in model.named_modules() if isinstance(m, ClusteredLinear)
+        ]
+        assert clustered
+        assert all(m.dkm_config.bits == 3 for m in clustered)
+
+    def test_serve_overrides(self, served_model, tokenizer):
+        server = repro.serve(
+            served_model, tokenizer, start=False, max_batch_size=3
+        )
+        try:
+            assert isinstance(server, PaletteServer)
+            assert server.config.max_batch_size == 3
+            assert not server.running
+        finally:
+            server.close()
+
+    def test_serve_started_by_default(self, served_model, tokenizer):
+        server = repro.serve(served_model, tokenizer)
+        try:
+            assert server.running
+            assert server.generate(PROMPTS[0], max_new_tokens=2, timeout=120.0)
+        finally:
+            server.close()
+        assert not server.running
+
+    def test_serve_config_and_overrides_conflict(self, served_model, tokenizer):
+        with pytest.raises(ValueError, match="not both"):
+            repro.serve(
+                served_model,
+                tokenizer,
+                config=ServingConfig(),
+                max_batch_size=2,
+            )
+
+    def test_reexports(self):
+        assert repro.DKMConfig is DKMConfig
+        assert repro.CompressorConfig is CompressorConfig
+        assert repro.ModelCompressor is ModelCompressor
+        assert repro.ServingConfig is ServingConfig
+        assert repro.PaletteServer is PaletteServer
+        assert repro.get_default_serving_config is get_default_serving_config
+        # Old deep imports stay valid.
+        from repro.core.compressor import ModelCompressor as deep
+
+        assert deep is ModelCompressor
