@@ -1,6 +1,28 @@
-"""Repo-level pytest config: make src-layout imports work uninstalled."""
+"""Repo-level pytest config: make src-layout imports work uninstalled.
+
+Also the install point for the ThreadSanitizer-lite runtime mode
+(``REPRO_TSAN=1``): instrumentation must patch the lock-owning classes
+*before* any test module imports construct instances, so it happens here
+at collection start rather than in a fixture.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+sys.path.insert(0, os.path.dirname(__file__))  # for `import tools.repolint`
+
+from tools.repolint import tsan  # noqa: E402
+
+if tsan.enabled():
+    _TSAN_CLASSES = tsan.install()
+
+
+def pytest_report_header(config):
+    """Surface tsan mode in the pytest header so CI logs show it."""
+    if tsan.enabled():
+        return (
+            f"repro tsan-lite: instrumenting {len(_TSAN_CLASSES)} "
+            f"lock-owning classes ({', '.join(_TSAN_CLASSES)})"
+        )
+    return None

@@ -189,8 +189,10 @@ def _all_unlinked(names: list[str]) -> bool:
             block = shared_memory.SharedMemory(name=name)
         except FileNotFoundError:
             continue
-        block.close()
-        return False
+        try:
+            return False
+        finally:
+            block.close()
     return True
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 import weakref
 from collections import deque
 from typing import Iterator
@@ -174,6 +175,9 @@ class MarshalRegistry:
     ) -> None:
         self.fingerprint_max_samples = fingerprint_max_samples
         self.fingerprint_dedup_content = fingerprint_dedup_content
+        # Reentrant: public entry points lock, private helpers assume the
+        # caller holds it (the repolint RL101/RL102 convention).
+        self._lock = threading.RLock()
         # id(tensor) -> (tensor weakref, entry, id(storage))
         self._by_tensor_id: dict[
             int, tuple[weakref.ReferenceType, OffloadEntry, int]
@@ -201,22 +205,29 @@ class MarshalRegistry:
         content fingerprint)."""
         ref = weakref.ref(tensor)
         storage_ref = weakref.ref(tensor.storage)
-        self._by_tensor_id[id(tensor)] = (ref, entry, id(tensor.storage))
-        self._by_storage_id[id(tensor.storage)] = (storage_ref, entry, id(tensor))
-        self._fingerprint_pending.append(
-            (storage_ref, entry, tensor.storage.version)
-        )
+        with self._lock:
+            self._by_tensor_id[id(tensor)] = (ref, entry, id(tensor.storage))
+            self._by_storage_id[id(tensor.storage)] = (
+                storage_ref,
+                entry,
+                id(tensor),
+            )
+            self._fingerprint_pending.append(
+                (storage_ref, entry, tensor.storage.version)
+            )
 
     def clear(self) -> None:
         """Drop every index (called between steps: weights change)."""
-        self._by_tensor_id.clear()
-        self._by_storage_id.clear()
-        self._by_fingerprint.clear()
-        self._fingerprint_pending.clear()
-        self._digest_memo.clear()
+        with self._lock:
+            self._by_tensor_id.clear()
+            self._by_storage_id.clear()
+            self._by_fingerprint.clear()
+            self._fingerprint_pending.clear()
+            self._digest_memo.clear()
 
     def __len__(self) -> int:
-        return len(self._by_tensor_id)
+        with self._lock:
+            return len(self._by_tensor_id)
 
     # ------------------------------------------------------------------
     # Lookup strategies
@@ -237,14 +248,15 @@ class MarshalRegistry:
         ``stats`` is given, the probe's cost and hit/miss outcome are
         recorded under the strategy's name.
         """
-        if strategy == "storage-id":
-            result = self._find_by_storage(tensor)
-        elif strategy == "graph":
-            result = self._find_by_graph(tensor, hop_budget, stats)
-        elif strategy == "fingerprint":
-            result = self._find_by_fingerprint(tensor, stats)
-        else:
-            raise ValueError(f"unknown search strategy {strategy!r}")
+        with self._lock:
+            if strategy == "storage-id":
+                result = self._find_by_storage(tensor)
+            elif strategy == "graph":
+                result = self._find_by_graph(tensor, hop_budget, stats)
+            elif strategy == "fingerprint":
+                result = self._find_by_fingerprint(tensor, stats)
+            else:
+                raise ValueError(f"unknown search strategy {strategy!r}")
         if stats is not None:
             stats.record_probe(strategy, hit=result[0] is not None)
         return result

@@ -75,6 +75,7 @@ import atexit
 import hashlib
 import pickle
 import struct
+import threading
 import time
 import warnings
 import weakref
@@ -369,12 +370,17 @@ class WorkerCacheRegistry:
     """
 
     def __init__(self) -> None:
+        # Workers are single-threaded today, but the registry is also
+        # driven in-process by tests and the in-line fallback path;
+        # reentrant so locked public methods may call each other.
+        self._lock = threading.RLock()
         self._entries: dict[str, WorkerStepCache] = {}
         self._leases = ShmLeaseRegistry()
         self._clock = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def run(
         self,
@@ -384,34 +390,35 @@ class WorkerCacheRegistry:
         bytes_limit: int = 0,
     ) -> LayerOutcome:
         """Execute one sweep op against the (installed or resident) layer."""
-        self._clock += 1
-        apply_directive(task.fault)
-        if isinstance(task, LayerDelta):
-            entry = self._resume(task)
-        else:
-            entry = self._install(task)
-        entry.tick = self._clock
-        clusterer = entry.clusterer
-        tensor = entry.lease.tensor
-        assert tensor is not None  # the registry never holds closed leases
-        before = clusterer.fastpath.stats.merge(FastPathStats())
-        result = fn(clusterer, tensor, **kwargs)
-        stats = clusterer.fastpath.stats.diff(before)
-        peeked = clusterer.fastpath.peek_table()
-        table = None
-        if peeked is not None and peeked[2] is not entry.shipped_table:
-            table = peeked
-            entry.shipped_table = peeked[2]
-        outcome = LayerOutcome(
-            name=task.name,
-            result=result,
-            state=clusterer.state,
-            stats=stats,
-            table=table,
-        )
-        if bytes_limit > 0:
-            self.enforce_limit(bytes_limit)
-        return outcome
+        with self._lock:
+            self._clock += 1
+            apply_directive(task.fault)
+            if isinstance(task, LayerDelta):
+                entry = self._resume(task)
+            else:
+                entry = self._install(task)
+            entry.tick = self._clock
+            clusterer = entry.clusterer
+            tensor = entry.lease.tensor
+            assert tensor is not None  # the registry never holds closed leases
+            before = clusterer.fastpath.stats.merge(FastPathStats())
+            result = fn(clusterer, tensor, **kwargs)
+            stats = clusterer.fastpath.stats.diff(before)
+            peeked = clusterer.fastpath.peek_table()
+            table = None
+            if peeked is not None and peeked[2] is not entry.shipped_table:
+                table = peeked
+                entry.shipped_table = peeked[2]
+            outcome = LayerOutcome(
+                name=task.name,
+                result=result,
+                state=clusterer.state,
+                stats=stats,
+                table=table,
+            )
+            if bytes_limit > 0:
+                self.enforce_limit(bytes_limit)
+            return outcome
 
     def _install(self, task: LayerTask) -> WorkerStepCache:
         """(Re)build the layer's entry from a full task."""
@@ -469,32 +476,36 @@ class WorkerCacheRegistry:
         lifetime.
         """
         keep = set(retain)
-        for name in [n for n in self._entries if n not in keep]:
-            del self._entries[name]
-            self._leases.release(name)
+        with self._lock:
+            for name in [n for n in self._entries if n not in keep]:
+                del self._entries[name]
+                self._leases.release(name)
 
     def resident_bytes(self) -> int:
         """Total resident product bytes across all entries."""
-        return sum(
-            entry.clusterer.fastpath.resident_bytes()
-            for entry in self._entries.values()
-        )
+        with self._lock:
+            return sum(
+                entry.clusterer.fastpath.resident_bytes()
+                for entry in self._entries.values()
+            )
 
     def enforce_limit(self, bytes_limit: int) -> None:
         """Evict LRU layers' products until at or under ``bytes_limit``."""
-        total = self.resident_bytes()
-        if total <= bytes_limit:
-            return
-        for entry in sorted(self._entries.values(), key=lambda e: e.tick):
-            total -= entry.clusterer.fastpath.evict_products()
-            entry.shipped_table = None
+        with self._lock:
+            total = self.resident_bytes()
             if total <= bytes_limit:
-                break
+                return
+            for entry in sorted(self._entries.values(), key=lambda e: e.tick):
+                total -= entry.clusterer.fastpath.evict_products()
+                entry.shipped_table = None
+                if total <= bytes_limit:
+                    break
 
     def close(self) -> None:
         """Drop every entry and release every pinned lease."""
-        self._entries.clear()
-        self._leases.close_all()
+        with self._lock:
+            self._entries.clear()
+            self._leases.close_all()
 
 
 _WORKER_REGISTRY: WorkerCacheRegistry | None = None

@@ -22,6 +22,7 @@ from repro.llm.tokenizer import WordTokenizer
 from repro.nn import Transformer
 from repro.tensor.autograd import no_grad
 from repro.tensor.device import Device
+from repro.tensor.random import default_rng
 from repro.tensor.tensor import Tensor
 
 
@@ -94,7 +95,7 @@ def generate_batch(
     """
     device = device or model.embed.weight.device
     if rngs is None:
-        rngs = [np.random.default_rng(0) for _ in prompts]
+        rngs = [default_rng(0) for _ in prompts]
     if len(rngs) != len(prompts):
         raise ValueError(
             f"got {len(rngs)} rngs for {len(prompts)} prompts"
@@ -141,5 +142,5 @@ def generate(
         max_new_tokens=max_new_tokens,
         temperature=temperature,
         device=device,
-        rngs=[rng or np.random.default_rng(0)],
+        rngs=[rng or default_rng(0)],
     )[0]

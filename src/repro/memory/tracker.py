@@ -31,19 +31,23 @@ class MemoryTracker:
 
     @property
     def current_bytes(self) -> int:
-        return self._current
+        with self._lock:
+            return self._current
 
     @property
     def peak_bytes(self) -> int:
-        return self._peak
+        with self._lock:
+            return self._peak
 
     @property
     def alloc_count(self) -> int:
-        return self._alloc_count
+        with self._lock:
+            return self._alloc_count
 
     @property
     def free_count(self) -> int:
-        return self._free_count
+        with self._lock:
+            return self._free_count
 
     def allocate(self, nbytes: int) -> None:
         if nbytes < 0:
@@ -77,10 +81,11 @@ class MemoryTracker:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"MemoryTracker({self.name!r}, current={self._current}, "
-            f"peak={self._peak})"
-        )
+        with self._lock:
+            return (
+                f"MemoryTracker({self.name!r}, current={self._current}, "
+                f"peak={self._peak})"
+            )
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ from repro.nn.module import Module
 from repro.nn.rope import RotaryEmbedding
 from repro.tensor import ops
 from repro.tensor.dtype import DType, float32
+from repro.tensor.random import default_rng
 from repro.tensor.tensor import Tensor
 
 
@@ -32,7 +33,7 @@ class MultiHeadAttention(Module):
         super().__init__()
         if dim % n_heads != 0:
             raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_rng(0)
         self.dim = dim
         self.n_heads = n_heads
         self.head_dim = dim // n_heads

@@ -7,6 +7,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor.dtype import DType, float32, get_dtype
+from repro.tensor.random import default_rng
 from repro.tensor.tensor import Tensor
 
 
@@ -26,7 +27,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_rng(0)
         dt = get_dtype(dtype)
         self.in_features = in_features
         self.out_features = out_features
@@ -65,7 +66,7 @@ class Embedding(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_rng(0)
         dt = get_dtype(dtype)
         self.num_embeddings = num_embeddings
         self.dim = dim

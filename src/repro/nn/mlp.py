@@ -8,6 +8,7 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor import ops
 from repro.tensor.dtype import DType, float32
+from repro.tensor.random import default_rng
 from repro.tensor.tensor import Tensor
 
 
@@ -22,7 +23,7 @@ class SwiGLUMLP(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_rng(0)
         self.dim = dim
         self.hidden_dim = hidden_dim
         self.gate_proj = Linear(dim, hidden_dim, bias=False, dtype=dtype, rng=rng)

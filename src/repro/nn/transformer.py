@@ -10,6 +10,7 @@ from repro.nn.mlp import SwiGLUMLP
 from repro.nn.module import Module, ModuleList
 from repro.nn.norm import RMSNorm
 from repro.tensor.dtype import DType, float32
+from repro.tensor.random import default_rng
 from repro.tensor.tensor import Tensor
 
 
@@ -26,7 +27,7 @@ class DecoderLayer(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or default_rng(0)
         self.attn_norm = RMSNorm(dim, dtype=dtype)
         self.attn = MultiHeadAttention(
             dim, n_heads, max_seq_len=max_seq_len, dtype=dtype, rng=rng
@@ -55,7 +56,7 @@ class Transformer(Module):
         seed: int = 0,
     ) -> None:
         super().__init__()
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         self.vocab_size = vocab_size
         self.dim = dim
         self.max_seq_len = max_seq_len

@@ -25,6 +25,7 @@ from repro.serving.config import ServingConfig
 from repro.serving.queue import DeadlineExceeded, ServerRequest
 from repro.serving.stats import RequestRecord, ServerStats
 from repro.tensor.device import Device
+from repro.tensor.random import default_rng
 
 
 class SequenceState:
@@ -81,7 +82,7 @@ class ContinuousBatcher:
                 request,
                 prompt_ids=self.tokenizer.encode(request.prompt, bos=True),
                 budget=budget,
-                rng=np.random.default_rng(0),
+                rng=default_rng(0),
             )
         )
 

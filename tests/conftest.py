@@ -17,6 +17,7 @@ import repro.tensor as rt
 from repro.data import FactWorld, alpaca_batches, corpus_batches, generate_alpaca, generate_corpus
 from repro.data.corpus import corpus_vocabulary
 from repro.llm import MICRO, FinetuneConfig, WordTokenizer, build_model, train_causal_lm
+from tools.repolint import tsan
 
 try:  # CI installs pytest-timeout and adds a global --timeout ceiling.
     import pytest_timeout  # noqa: F401
@@ -88,6 +89,31 @@ def _seed_everything() -> int:
     np.random.seed(SUITE_SEED)
     rt.manual_seed(SUITE_SEED)
     return SUITE_SEED
+
+
+@pytest.fixture(autouse=True)
+def _tsan_check(request):
+    """Fail any test during which tsan-lite recorded a lock violation.
+
+    Inert unless the session runs under ``REPRO_TSAN=1`` (see the
+    repo-level ``conftest.py``, which installs the instrumentation before
+    collection).  Violations are recorded, not raised, at the racy access
+    -- this fixture is where they become a test failure, attributed to
+    the test that triggered them.
+    """
+    if not tsan.enabled():
+        yield
+        return
+    watermark = tsan.violation_count()
+    yield
+    new = tsan.violations_since(watermark)
+    if new:
+        details = "\n".join(f"  {v.render()}" for v in new[:20])
+        pytest.fail(
+            f"tsan-lite: {len(new)} guarded-attribute access(es) without "
+            f"the owning lock held:\n{details}",
+            pytrace=False,
+        )
 
 
 @pytest.fixture

@@ -139,7 +139,8 @@ class TestWorkerCacheRegistry:
         try:
             first = registry.run(SWEEP_OPS["refine"], task, {})
             assert first.stats.uniquify_misses == 1
-            lease = registry._entries["layer0"].lease
+            with registry._lock:  # white-box peek (tsan-clean)
+                lease = registry._entries["layer0"].lease
             delta = LayerDelta(
                 name="layer0",
                 version=task.handle.version,
@@ -152,7 +153,8 @@ class TestWorkerCacheRegistry:
             # a pure delta (first sweep's counters not double-counted).
             assert second.stats.uniquify_hits == 1
             assert second.stats.uniquify_misses == 0
-            assert registry._entries["layer0"].lease is lease  # pinned
+            with registry._lock:
+                assert registry._entries["layer0"].lease is lease  # pinned
             assert np.array_equal(first.state.centroids, second.state.centroids)
         finally:
             registry.close()
@@ -217,7 +219,8 @@ class TestWorkerCacheRegistry:
             registry.run(SWEEP_OPS["refine"], task, {}, bytes_limit=1)
             # Everything evicted down to a phantom entry...
             assert registry.resident_bytes() == 0
-            entry = registry._entries["layer0"]
+            with registry._lock:  # white-box peek (tsan-clean)
+                entry = registry._entries["layer0"]
             delta = LayerDelta(
                 name="layer0",
                 version=task.handle.version,
@@ -256,11 +259,13 @@ class TestWorkerCacheRegistry:
                 registry.run(SWEEP_OPS["refine"], task, {})
             assert len(registry) == 3
             registry.prune(("layer0", "layer2"))  # layer1 re-pinned away
-            assert sorted(registry._entries) == ["layer0", "layer2"]
-            assert len(registry._leases) == 2
+            with registry._lock:  # white-box peek (tsan-clean)
+                assert sorted(registry._entries) == ["layer0", "layer2"]
+                assert len(registry._leases) == 2
             registry.prune(())  # slot emptied entirely
             assert len(registry) == 0
-            assert len(registry._leases) == 0
+            with registry._lock:
+                assert len(registry._leases) == 0
         finally:
             registry.close()
             for export in exports:

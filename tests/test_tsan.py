@@ -1,0 +1,219 @@
+"""Self-tests for the ThreadSanitizer-lite runtime mode.
+
+The deliberately-racy fixture class is caught when instrumented; clean
+locked usage stays silent; and the ``REPRO_TSAN=1`` session-level switch
+is validated in whichever direction the current session runs (CI runs
+the concurrency suite both ways, so both branches execute there).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tools.repolint import tsan
+
+
+class _RacyCounter:
+    """Fixture class: guarded count, one method that skips the lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def locked_bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def racy_bump(self) -> None:
+        self._count += 1  # the bug tsan must catch
+
+    def racy_read(self) -> int:
+        return self._count
+
+
+class _CondQueue:
+    """Fixture mirroring RequestQueue: a Condition over the same lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items: list[int] = []
+
+    def put(self, item: int) -> None:
+        with self._lock:
+            self._items.append(item)
+            self._ready.notify()
+
+    def get(self, timeout: float) -> int:
+        with self._ready:
+            self._ready.wait_for(lambda: self._items, timeout=timeout)
+            return self._items.pop(0)
+
+
+@pytest.fixture
+def _fresh_violations():
+    """Isolate and then drop this test's recorded violations.
+
+    Dropping matters: the autouse ``_tsan_check`` fixture fails any test
+    that leaves new violations behind, and these tests *provoke*
+    violations on purpose.
+    """
+    watermark = tsan.violation_count()
+    yield lambda: tsan.violations_since(watermark)
+    tsan.clear_violations()
+
+
+def _instrumented_counter_class():
+    # Instrument a throwaway subclass so the module-level fixture class
+    # stays pristine for other tests (instrument_class mutates the class).
+    cls = type("RacyCounterX", (_RacyCounter,), {})
+    tsan.instrument_class(
+        cls, guarded=frozenset({"_count"}), lock_attrs=frozenset({"_lock"})
+    )
+    return cls
+
+
+class TestTrackedLock:
+    def test_ownership_tracking(self):
+        lock = tsan.TrackedLock(threading.Lock())
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+    def test_other_thread_is_not_owner(self):
+        lock = tsan.TrackedLock(threading.Lock())
+        seen: list[bool] = []
+        with lock:
+            other = threading.Thread(
+                target=lambda: seen.append(lock.held_by_current_thread())
+            )
+            other.start()
+            other.join()
+        assert seen == [False]
+
+    def test_rlock_reentrancy(self):
+        lock = tsan.TrackedLock(threading.RLock())
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread()
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+
+class TestInstrumentation:
+    def test_racy_access_is_caught(self, _fresh_violations):
+        counter = _instrumented_counter_class()()
+        counter.locked_bump()
+        assert _fresh_violations() == []
+        counter.racy_bump()
+        new = _fresh_violations()
+        assert len(new) >= 1
+        assert {v.attr for v in new} == {"_count"}
+        assert {v.cls for v in new} == {"RacyCounterX"}
+        assert {"read", "write"} >= {v.op for v in new}
+
+    def test_racy_read_is_caught(self, _fresh_violations):
+        counter = _instrumented_counter_class()()
+        counter.racy_read()
+        new = _fresh_violations()
+        assert [v.op for v in new] == ["read"]
+
+    def test_clean_locked_usage_is_silent(self, _fresh_violations):
+        counter = _instrumented_counter_class()()
+        for _ in range(50):
+            counter.locked_bump()
+        with counter._lock:
+            assert counter._count == 50
+        assert _fresh_violations() == []
+
+    def test_uninstrumented_class_records_nothing(self, _fresh_violations):
+        counter = _RacyCounter()
+        counter.racy_bump()
+        assert _fresh_violations() == []
+
+    def test_instrumentation_is_idempotent(self, _fresh_violations):
+        cls = _instrumented_counter_class()
+        init_before = cls.__init__
+        tsan.instrument_class(
+            cls, guarded=frozenset({"_count"}), lock_attrs=frozenset({"_lock"})
+        )
+        assert cls.__init__ is init_before
+
+    def test_condition_wait_notify_stays_clean(self, _fresh_violations):
+        cls = type("CondQueueX", (_CondQueue,), {})
+        tsan.instrument_class(
+            cls,
+            guarded=frozenset({"_items"}),
+            lock_attrs=frozenset({"_lock", "_ready"}),
+        )
+        queue = cls()
+        results: list[int] = []
+
+        def consumer():
+            results.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.put(41)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [41]
+        assert _fresh_violations() == []
+
+    def test_cross_thread_race_attributed(self, _fresh_violations):
+        counter = _instrumented_counter_class()()
+        thread = threading.Thread(target=counter.racy_bump, name="racer")
+        thread.start()
+        thread.join()
+        assert any(v.thread == "racer" for v in _fresh_violations())
+
+
+class TestSessionSwitch:
+    def test_enabled_tracks_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TSAN", "1")
+        assert tsan.enabled()
+        monkeypatch.delenv("REPRO_TSAN")
+        assert not tsan.enabled()
+
+    @pytest.mark.skipif(
+        not tsan.enabled(), reason="session not running under REPRO_TSAN=1"
+    )
+    def test_repo_classes_instrumented_when_enabled(self):
+        from repro.core.fastpath import StepCache
+        from repro.memory.tracker import MemoryTracker
+        from repro.serving.queue import RequestQueue
+
+        for cls in (StepCache, MemoryTracker, RequestQueue):
+            assert getattr(cls, "_tsan_instrumented", False), cls
+
+    @pytest.mark.skipif(
+        tsan.enabled(), reason="session running under REPRO_TSAN=1"
+    )
+    def test_repo_classes_untouched_when_disabled(self):
+        from repro.core.fastpath import StepCache
+        from repro.memory.tracker import MemoryTracker
+        from repro.serving.queue import RequestQueue
+
+        for cls in (StepCache, MemoryTracker, RequestQueue):
+            assert not getattr(cls, "_tsan_instrumented", False), cls
+
+    @pytest.mark.skipif(
+        not tsan.enabled(), reason="session not running under REPRO_TSAN=1"
+    )
+    def test_instrumented_tracker_catches_injected_race(
+        self, _fresh_violations
+    ):
+        """End-to-end: a real repo class, a real unlocked poke, a report."""
+        from repro.memory.tracker import MemoryTracker
+
+        tracker = MemoryTracker("tsan-probe")
+        tracker.allocate(128)
+        assert _fresh_violations() == []
+        object.__getattribute__(tracker, "__dict__")  # dunder path: silent
+        tracker.__dict__  # guarded names only -- still silent
+        # Bypass the property (which locks) and read the raw attribute.
+        _ = tracker._current
+        assert {v.attr for v in _fresh_violations()} == {"_current"}

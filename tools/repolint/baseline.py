@@ -1,0 +1,117 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the CI gate turn on *strict* while legacy findings are
+burned down: a finding whose identity key appears in the baseline does
+not fail the run.  Every entry must carry a written justification --
+an unjustified entry fails the run outright, so the baseline can never
+silently become a dumping ground.  Stale entries (matching no current
+finding) are surfaced so a fix also deletes its baseline row.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from tools.repolint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding plus the reason it is tolerated."""
+
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> str:
+        """Identity key; must mirror :attr:`Finding.key` construction."""
+        return Finding(
+            rule=self.rule,
+            path=self.path,
+            line=0,
+            message=self.message,
+            symbol=self.symbol,
+        ).key
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    path: str | None = None
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key = {entry.key: entry for entry in self.entries}
+        self._matched: set[str] = set()
+
+    def match(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (marks the entry used)."""
+        entry = self._by_key.get(finding.key)
+        if entry is None:
+            return False
+        self._matched.add(finding.key)
+        return True
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no finding this run (candidates to delete)."""
+        return [e for e in self.entries if e.key not in self._matched]
+
+    def unjustified_entries(self) -> list[BaselineEntry]:
+        """Entries with an empty justification (always an error)."""
+        return [e for e in self.entries if not e.justification.strip()]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse the baseline JSON at ``path`` (an absent file is empty)."""
+    if not os.path.exists(path):
+        return Baseline(path=path)
+    with open(path, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {raw.get('version')!r}"
+        )
+    entries = [
+        BaselineEntry(
+            rule=item["rule"],
+            path=item["path"],
+            symbol=item.get("symbol", ""),
+            message=item["message"],
+            justification=item.get("justification", ""),
+        )
+        for item in raw.get("entries", [])
+    ]
+    return Baseline(path=path, entries=entries)
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as a fresh baseline (justifications TODO).
+
+    Emitted entries carry an empty justification on purpose: the engine
+    refuses to *use* such a baseline until a human writes one per entry,
+    which is exactly the workflow -- regenerate, then justify or fix.
+    """
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+                "justification": "",
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,150 @@
+"""The ``--suite docs`` checks: Markdown links plus docstring coverage.
+
+Unifies the two documentation gates that used to be separate CI steps:
+
+- **DOC001** -- a relative Markdown link that resolves to nothing
+  (the ``tools/check_docs_links.py`` check, reused via import).
+- **DOC100/101/102/103/104** -- a public module/class/method/function in
+  a docstring-gated package without a docstring (the coverage half of
+  ruff's D100-D104, without pulling ruff into the runtime).  Dunder and
+  private names are exempt, as are nested functions.
+
+One invocation, one exit code, one JSON report artifact for CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import glob
+import os
+
+from tools.check_docs_links import DEFAULT_TARGETS, is_checkable, iter_links
+from tools.repolint.engine import iter_python_files, relpath_posix
+from tools.repolint.findings import Finding, Report
+
+#: Packages whose public surface must be fully docstringed (mirrors the
+#: old ``ruff check --select D100..D104`` CI scope, plus the analyzer
+#: itself -- the tool is held to its own gate).
+DOCSTRING_PACKAGES = (
+    "src/repro/core",
+    "src/repro/serving",
+    "tools/repolint",
+)
+
+
+def check_markdown_links(root: str, report: Report) -> None:
+    """Append DOC001 findings for broken relative links under ``root``."""
+    files = [
+        path
+        for pattern in DEFAULT_TARGETS
+        for path in sorted(glob.glob(os.path.join(root, pattern)))
+    ]
+    for path in files:
+        report.files_checked += 1
+        rel = relpath_posix(path, root)
+        base = os.path.dirname(os.path.abspath(path))
+        for lineno, target in iter_links(path):
+            if not is_checkable(target):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                report.findings.append(
+                    Finding(
+                        rule="DOC001",
+                        path=rel,
+                        line=lineno,
+                        message=f"broken relative link -> {target}",
+                    )
+                )
+
+
+def _needs_docstring(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_docstrings_in_file(
+    rel: str, source: str, report: Report
+) -> None:
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        report.errors.append(f"{rel}: syntax error: {exc.msg}")
+        return
+    is_package = rel.endswith("__init__.py")
+    if ast.get_docstring(tree) is None:
+        report.findings.append(
+            Finding(
+                rule="DOC104" if is_package else "DOC100",
+                path=rel,
+                line=1,
+                message="missing module docstring",
+            )
+        )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _needs_docstring(node.name):
+            if ast.get_docstring(node) is None:
+                report.findings.append(
+                    Finding(
+                        rule="DOC101",
+                        path=rel,
+                        line=node.lineno,
+                        message=f"missing class docstring: {node.name}",
+                        symbol=node.name,
+                    )
+                )
+            for item in node.body:
+                if (
+                    isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and _needs_docstring(item.name)
+                    and ast.get_docstring(item) is None
+                ):
+                    report.findings.append(
+                        Finding(
+                            rule="DOC102",
+                            path=rel,
+                            line=item.lineno,
+                            message=(
+                                f"missing method docstring: "
+                                f"{node.name}.{item.name}"
+                            ),
+                            symbol=f"{node.name}.{item.name}",
+                        )
+                    )
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _needs_docstring(node.name):
+            if ast.get_docstring(node) is None:
+                report.findings.append(
+                    Finding(
+                        rule="DOC103",
+                        path=rel,
+                        line=node.lineno,
+                        message=f"missing function docstring: {node.name}",
+                        symbol=node.name,
+                    )
+                )
+
+
+def check_docstring_coverage(root: str, report: Report) -> None:
+    """Append DOC1xx findings for the docstring-gated packages."""
+    for package in DOCSTRING_PACKAGES:
+        package_path = os.path.join(root, package)
+        if not os.path.isdir(package_path):
+            continue
+        for file_path in iter_python_files([package_path]):
+            report.files_checked += 1
+            rel = relpath_posix(file_path, root)
+            with open(file_path, encoding="utf-8") as fh:
+                _check_docstrings_in_file(rel, fh.read(), report)
+
+
+def run_docs_suite(root: str) -> Report:
+    """Run both documentation checks; one report, one exit code."""
+    report = Report(suite="docs")
+    check_markdown_links(root, report)
+    check_docstring_coverage(root, report)
+    return report

@@ -1,0 +1,172 @@
+"""RL2xx -- ``Storage.version`` discipline for in-place buffer writes.
+
+Every cache key in the system -- ``StepCache``'s uniquify memo, the
+eval-path hard-weight snapshot, worker delta staleness, checkpoint
+digests -- hinges on one invariant: **an in-place write to a tensor's
+backing buffer bumps ``Storage.version`` before anyone can observe the
+new bytes**.  PR 7's stale eval ``_hard_cache`` was exactly a write that
+did not flow into version-keyed invalidation.
+
+The rule recognizes the repo's buffer-mutation shapes:
+
+- subscript stores / augmented assigns into ``x._np()[...]`` views or
+  ``storage.data`` buffers (including one level of local aliasing:
+  ``buf = x._np(); buf[...] = v``),
+- ``np.copyto(buf, ...)`` into such a buffer.
+
+Any function containing one of these must also call ``bump_version()``
+(or delegate to an in-place Tensor method, which bumps internally).
+``tensor/storage.py`` -- where the version counter lives -- is exempt.
+
+Rules:
+
+- **RL201**: in-place buffer mutation without ``bump_version()`` in the
+  same function.
+- **RL202**: ``np.copyto`` into a tensor/storage buffer without
+  ``bump_version()`` in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repolint.findings import Finding
+from tools.repolint.rules.base import FileContext, Rule, dotted_name
+
+EXEMPT_SUFFIXES = ("tensor/storage.py",)
+
+#: In-place Tensor methods that bump the version themselves; a function
+#: that only mutates through these needs no explicit bump.
+DELEGATING_MUTATORS = frozenset({"copy_", "fill_", "zero_", "_unsafe_add_"})
+
+
+def _is_buffer_expr(node: ast.AST, tainted: set[str]) -> bool:
+    """Whether ``node`` denotes a tensor/storage backing buffer."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr == "_np":
+                return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "data":
+            base = dotted_name(sub.value)
+            if base.endswith("storage") or base == "self.storage":
+                return True
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return True
+    return False
+
+
+def _tainted_locals(fn: ast.AST) -> set[str]:
+    """Local names bound to ``x._np()`` or ``*.storage.data`` results."""
+    tainted: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_buffer = False
+        if isinstance(value, ast.Call) and isinstance(
+            value.func, ast.Attribute
+        ):
+            if value.func.attr == "_np":
+                is_buffer = True
+        if isinstance(value, ast.Attribute) and value.attr == "data":
+            base = dotted_name(value.value)
+            if base.endswith("storage"):
+                is_buffer = True
+        if not is_buffer:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tainted.add(target.id)
+    return tainted
+
+
+def _has_version_bump(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr == "bump_version":
+                return True
+            if node.func.attr in DELEGATING_MUTATORS:
+                return True
+    return False
+
+
+def _iter_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class VersionBumpRule(Rule):
+    """RL201: subscript/augmented buffer mutation without a version bump."""
+
+    id = "RL201"
+    summary = (
+        "in-place writes to tensor/storage buffers must reach "
+        "bump_version() in the same function"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag buffer stores in functions that never bump the version."""
+        if ctx.path.endswith(EXEMPT_SUFFIXES):
+            return
+        for fn in _iter_functions(ctx.tree):
+            tainted = _tainted_locals(fn)
+            bumps = _has_version_bump(fn)
+            for node in ast.walk(fn):
+                target = None
+                if isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        if isinstance(t, ast.Subscript):
+                            target = t
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Subscript
+                ):
+                    target = node.target
+                if target is None:
+                    continue
+                if not _is_buffer_expr(target.value, tainted):
+                    continue
+                if bumps:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    "in-place write to a tensor/storage buffer without "
+                    "bump_version() in the same function (stale "
+                    "version-keyed caches would serve old bytes)",
+                )
+
+
+class CopytoVersionRule(Rule):
+    """RL202: ``np.copyto`` into a buffer without a version bump."""
+
+    id = "RL202"
+    summary = "np.copyto into tensor/storage buffers must bump the version"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag np.copyto(buffer, ...) in bump-free functions."""
+        if ctx.path.endswith(EXEMPT_SUFFIXES):
+            return
+        for fn in _iter_functions(ctx.tree):
+            tainted = _tainted_locals(fn)
+            bumps = _has_version_bump(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if dotted_name(node.func) not in ("np.copyto", "numpy.copyto"):
+                    continue
+                if not node.args or not _is_buffer_expr(
+                    node.args[0], tainted
+                ):
+                    continue
+                if bumps:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    "np.copyto into a tensor/storage buffer without "
+                    "bump_version() in the same function",
+                )
