@@ -1,28 +1,55 @@
 """Repo-level pytest config: make src-layout imports work uninstalled.
 
-Also the install point for the ThreadSanitizer-lite runtime mode
-(``REPRO_TSAN=1``): instrumentation must patch the lock-owning classes
-*before* any test module imports construct instances, so it happens here
-at collection start rather than in a fixture.
+Also the install point for two opt-in runtime modes that must activate
+*before* any test module imports construct instances, so both happen
+here at collection start rather than in a fixture:
+
+- ThreadSanitizer-lite (``REPRO_TSAN=1``): patches the lock-owning
+  classes with lockset instrumentation.
+- Line coverage (``REPRO_COV=1``): installs the zero-dependency
+  ``tools.covlite`` tracer over ``src/`` and writes a
+  ``coverage.py``-compatible ``coverage.json`` at session end, feeding
+  the ``tools.check_coverage`` ratchet on hosts without ``pytest-cov``.
 """
 
 import os
 import sys
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
-sys.path.insert(0, os.path.dirname(__file__))  # for `import tools.repolint`
+_REPO_ROOT = os.path.dirname(__file__)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+sys.path.insert(0, _REPO_ROOT)  # for `import tools.repolint`
 
 from tools.repolint import tsan  # noqa: E402
 
 if tsan.enabled():
     _TSAN_CLASSES = tsan.install()
 
+_COV_ENABLED = os.environ.get("REPRO_COV") == "1"
+if _COV_ENABLED:
+    from tools import covlite
+
+    covlite.install(os.path.join(_REPO_ROOT, "src"))
+
 
 def pytest_report_header(config):
-    """Surface tsan mode in the pytest header so CI logs show it."""
+    """Surface the active runtime modes in the pytest header."""
+    headers = []
     if tsan.enabled():
-        return (
+        headers.append(
             f"repro tsan-lite: instrumenting {len(_TSAN_CLASSES)} "
             f"lock-owning classes ({', '.join(_TSAN_CLASSES)})"
         )
-    return None
+    if _COV_ENABLED:
+        headers.append("repro covlite: tracing src/ -> coverage.json")
+    return headers or None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the covlite report once the run (and its workers) are done."""
+    if _COV_ENABLED:
+        covlite.uninstall()
+        covlite.report(
+            os.path.join(_REPO_ROOT, "src"),
+            os.path.join(_REPO_ROOT, "coverage.json"),
+            _REPO_ROOT,
+        )

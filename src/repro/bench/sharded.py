@@ -1,0 +1,259 @@
+"""Sharded cluster-scheduler benchmark: node scaling + identity gates.
+
+Measures the cluster scheduler's node-count scaling curve and proves the
+equivalences sharding must not change:
+
+- **Scaling curve** -- the same heterogeneous model (one embedding-sized
+  layer dominating several small projections) is compressed on 1, 2, and
+  4 nodes; per-sweep wall time, shipped bytes, full/delta task counts,
+  and per-node byte loads are recorded for each point.  Wall times are
+  recorded but not gated (CI runners are core-starved and noisy); the
+  placement-balance, transport, and identity assertions always gate.
+- **Bit-identity** -- every node count must reproduce the serial
+  reference exactly (centroids, assignments, temperatures,
+  reconstruction errors, and per-layer ``FastPathStats`` counters)
+  across a cold sweep, a warm delta-shipped sweep, and a sweep after a
+  node worker is hard-killed (crash-recovery re-ships full state).
+- **Over-budget headline** -- the model's total weight bytes exceed a
+  single node's ``node_memory_budget`` (placing it on one node raises
+  :class:`~repro.distributed.scheduler.PlacementError`), yet the same
+  budget compresses fine across two nodes, bit-identical to serial, with
+  no node's pinned bytes above the budget.
+
+``benchmarks/bench_sharded.py`` wraps :func:`run_sharded` into the CLI
+that writes ``BENCH_sharded.json`` (schema: ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+import repro.nn as nn
+from repro.bench.affinity import _kill_one_slot_worker
+from repro.bench.backends import _all_unlinked, _layer_stats, _results_identical
+from repro.core.compressor import ModelCompressor
+from repro.core.config import CompressorConfig, DKMConfig
+from repro.distributed.scheduler import NodePlacement, PlacementError
+
+N_SWEEPS = 3
+"""Per-node-count sweep schedule: cold, warm, crash-recovery."""
+
+NODE_COUNTS = (1, 2, 4)
+"""The scaling-curve points."""
+
+
+@dataclass
+class ShardedSweepRow:
+    """One sweep's transport + equivalence measurements at one node count."""
+
+    nodes: int
+    sweep: int
+    scenario: str
+    wall_seconds: float
+    bytes_shipped: int
+    full_tasks: int
+    delta_tasks: int
+    bit_identical: bool
+    stats_identical: bool
+
+
+@dataclass
+class ShardedBenchResult:
+    """Everything :func:`run_sharded` measured, JSON-serializable."""
+
+    cpu_count: int = 0
+    n_layers: int = 0
+    layer_bytes: dict[str, int] = field(default_factory=dict)
+    total_bytes: int = 0
+    node_budget: int = 0
+    serial_wall_seconds: list[float] = field(default_factory=list)
+    rows: list[ShardedSweepRow] = field(default_factory=list)
+    loads: dict[int, list[int]] = field(default_factory=dict)
+    balanced: dict[int, bool] = field(default_factory=dict)
+    single_node_infeasible: bool = False
+    over_budget_identical: bool = False
+    over_budget_stats_identical: bool = False
+    over_budget_max_load: int = 0
+    shm_cleaned: bool = True
+
+    def to_json_dict(self) -> dict:
+        """The ``BENCH_sharded.json`` payload (see ``docs/benchmarks.md``)."""
+        warm = {
+            nodes: next(
+                (r for r in self.rows if r.nodes == nodes and r.sweep == 2),
+                None,
+            )
+            for nodes in sorted({r.nodes for r in self.rows})
+        }
+        return {
+            "benchmark": "sharded",
+            "cpu_count": self.cpu_count,
+            "n_layers": self.n_layers,
+            "layer_bytes": self.layer_bytes,
+            "total_bytes": self.total_bytes,
+            "node_budget": self.node_budget,
+            "serial_wall_seconds": self.serial_wall_seconds,
+            "rows": [asdict(row) for row in self.rows],
+            "scaling": {
+                str(nodes): {
+                    "warm_wall_seconds": row.wall_seconds if row else None,
+                    "warm_bytes_shipped": row.bytes_shipped if row else None,
+                    "loads": self.loads.get(nodes),
+                    "balanced": self.balanced.get(nodes),
+                }
+                for nodes, row in warm.items()
+            },
+            "single_node_infeasible": self.single_node_infeasible,
+            "over_budget_identical": self.over_budget_identical,
+            "over_budget_stats_identical": self.over_budget_stats_identical,
+            "over_budget_max_load": self.over_budget_max_load,
+            "shm_cleaned": self.shm_cleaned,
+        }
+
+
+class _SkewedStack(nn.Module):
+    """One embedding-sized layer plus ``n_small`` small projections."""
+
+    def __init__(self, features: int, n_small: int, seed: int) -> None:
+        super().__init__()
+        self.embed = nn.Linear(
+            features, 8 * features, bias=False, rng=np.random.default_rng(seed)
+        )
+        for i in range(n_small):
+            setattr(
+                self,
+                f"proj{i}",
+                nn.Linear(
+                    features,
+                    features,
+                    bias=False,
+                    rng=np.random.default_rng(seed + 1 + i),
+                ),
+            )
+
+
+def _build(
+    backend: str,
+    features: int,
+    n_small: int,
+    seed: int,
+    bits: int,
+    iters: int,
+    **config_kwargs,
+) -> ModelCompressor:
+    stack = _SkewedStack(features, n_small, seed)
+    stack.to("gpu")
+    compressor = ModelCompressor(
+        DKMConfig(bits=bits, iters=iters),
+        config=CompressorConfig(backend=backend, **config_kwargs),
+    )
+    compressor.compress(stack)
+    return compressor
+
+
+def _weight_bytes(compressor: ModelCompressor) -> dict[str, int]:
+    return {
+        name: wrapper.inner.weight.numel * wrapper.inner.weight.dtype.itemsize
+        for name, wrapper in compressor.wrapped.items()
+    }
+
+
+def run_sharded(
+    features: int = 96,
+    n_small: int = 5,
+    bits: int = 3,
+    iters: int = 3,
+    seed: int = 0,
+) -> ShardedBenchResult:
+    """Run the node-scaling + over-budget benchmark, fixed seed."""
+    result = ShardedBenchResult(cpu_count=os.cpu_count() or 1)
+
+    serial = _build("serial", features, n_small, seed, bits, iters)
+    result.layer_bytes = _weight_bytes(serial)
+    result.total_bytes = sum(result.layer_bytes.values())
+    result.n_layers = len(result.layer_bytes)
+    serial_results, serial_stats = [], []
+    for _ in range(N_SWEEPS):
+        start = time.perf_counter()
+        serial_results.append(serial.precluster(compute_error=True))
+        result.serial_wall_seconds.append(time.perf_counter() - start)
+        serial_stats.append(_layer_stats(serial))
+    serial.close()
+
+    for nodes in NODE_COUNTS:
+        compressor = _build(
+            "sharded", features, n_small, seed, bits, iters, num_nodes=nodes
+        )
+        try:
+            for sweep in range(N_SWEEPS):
+                scenario = "cold" if sweep == 0 else "warm"
+                if sweep == 2:
+                    _kill_one_slot_worker(compressor)
+                    scenario = "crash-recovery"
+                start = time.perf_counter()
+                res = compressor.precluster(compute_error=True)
+                wall = time.perf_counter() - start
+                transport = compressor.transport_stats()
+                result.rows.append(
+                    ShardedSweepRow(
+                        nodes=nodes,
+                        sweep=sweep + 1,
+                        scenario=scenario,
+                        wall_seconds=wall,
+                        bytes_shipped=transport.last_sweep_bytes,
+                        full_tasks=transport.last_sweep_full_tasks,
+                        delta_tasks=transport.last_sweep_delta_tasks,
+                        bit_identical=_results_identical(
+                            serial_results[sweep], res
+                        ),
+                        stats_identical=serial_stats[sweep]
+                        == _layer_stats(compressor),
+                    )
+                )
+            placement = compressor._engine.placement()
+            result.loads[nodes] = placement.loads()
+            result.balanced[nodes] = placement.is_balanced()
+        finally:
+            engine = compressor._engine
+            shm_names = engine.active_shm_names() if engine is not None else []
+            compressor.close()
+            if shm_names and not _all_unlinked(shm_names):
+                result.shm_cleaned = False
+
+    # Over-budget headline: the model does not fit one node's budget.
+    sized = sorted(result.layer_bytes.items())
+    budget = max(result.layer_bytes.values()) + min(result.layer_bytes.values())
+    result.node_budget = budget
+    try:
+        NodePlacement.build(sized, 1, budget=budget)
+    except PlacementError:
+        result.single_node_infeasible = True
+    compressor = _build(
+        "sharded",
+        features,
+        n_small,
+        seed,
+        bits,
+        iters,
+        num_nodes=2,
+        node_memory_budget=budget,
+    )
+    try:
+        for sweep in range(2):
+            res = compressor.precluster(compute_error=True)
+        result.over_budget_identical = _results_identical(serial_results[1], res)
+        result.over_budget_stats_identical = serial_stats[1] == _layer_stats(
+            compressor
+        )
+        result.over_budget_max_load = max(compressor._engine.placement().loads())
+    finally:
+        engine = compressor._engine
+        shm_names = engine.active_shm_names() if engine is not None else []
+        compressor.close()
+        if shm_names and not _all_unlinked(shm_names):
+            result.shm_cleaned = False
+    return result

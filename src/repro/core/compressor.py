@@ -72,7 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.faults import FaultLog
     from repro.core.procpool import ProcessLayerEngine, TransportStats
 
-_DEGRADATION_LADDER = {"process": "thread", "thread": "serial"}
+_DEGRADATION_LADDER = {"sharded": "process", "process": "thread", "thread": "serial"}
 """Backend demotion order: each infrastructure-class sweep failure steps
 one rung down; ``serial`` is the floor and its errors always propagate."""
 
@@ -550,12 +550,23 @@ class ModelCompressor:
             self.config.resolve_workers(len(self.wrapped)),
         )
 
-    def _process_engine(self) -> "ProcessLayerEngine":
-        """The lazily-created process backend (pool + shm export cache)."""
-        if self._engine is None:
-            from repro.core.procpool import ProcessLayerEngine
+    def _process_engine(self, backend: str = "process") -> "ProcessLayerEngine":
+        """The lazily-created engine for a process-class backend.
 
-            self._engine = ProcessLayerEngine(self.config)
+        ``"process"`` builds the single-host pool engine; ``"sharded"``
+        builds the multi-node cluster scheduler (a subclass sharing the
+        same interface).  The two never coexist: demotion closes and
+        forgets the sharded engine before the process engine is built.
+        """
+        if self._engine is None:
+            if backend == "sharded":
+                from repro.distributed.scheduler import ShardedClusterEngine
+
+                self._engine = ShardedClusterEngine(self.config)
+            else:
+                from repro.core.procpool import ProcessLayerEngine
+
+                self._engine = ProcessLayerEngine(self.config)
         return self._engine
 
     @property
@@ -563,8 +574,8 @@ class ModelCompressor:
         """The backend sweeps currently run on (degradation-aware).
 
         Starts as ``config.backend`` and only moves *down* the ladder
-        (process -> thread -> serial) when an infrastructure failure
-        demotes it; never silently promotes back.
+        (sharded -> process -> thread -> serial) when an infrastructure
+        failure demotes it; never silently promotes back.
         """
         return self._backend_override or self.config.backend
 
@@ -579,10 +590,14 @@ class ModelCompressor:
         reason = f"{type(exc).__name__}: {exc}"
         self._backend_override = next_backend
         self.degradations.append((failed_backend, next_backend, reason))
-        if failed_backend == "process" and self._engine is not None:
+        if failed_backend in ("process", "sharded") and self._engine is not None:
             # The engine already reset itself on the way out; close it so
-            # no pools or blocks linger while we run degraded.
+            # no pools or blocks linger while we run degraded.  A failed
+            # sharded engine is also *forgotten*, so a later process-rung
+            # sweep lazily builds the right engine class.
             self._engine.close()
+            if failed_backend == "sharded":
+                self._engine = None
         warnings.warn(
             f"{failed_backend!r} backend failed a sweep ({reason}); degrading "
             f"to {next_backend!r} for the rest of the run",
@@ -632,7 +647,7 @@ class ModelCompressor:
 
     def _sweep_on(self, backend: str, op: str, **kwargs) -> dict[str, _R]:
         """One sweep attempt on one explicit backend (no ladder, no retry)."""
-        if backend != "process":
+        if backend not in ("process", "sharded"):
             num_workers = (
                 1
                 if backend == "serial"
@@ -645,7 +660,7 @@ class ModelCompressor:
                 self.wrapped.items(),
                 num_workers,
             )
-        outcomes = self._process_engine().map_layers(
+        outcomes = self._process_engine(backend).map_layers(
             op,
             [
                 (name, wrapper.clusterer, wrapper.inner.weight)
@@ -682,10 +697,10 @@ class ModelCompressor:
     def fault_log(self) -> "FaultLog | None":
         """The chaos injector's event log, if a fault plan is armed.
 
-        ``None`` when ``config.fault_plan`` is unset or the process
-        engine has not been created yet; fault injection only instruments
-        the process backend (the serial/thread paths have no workers to
-        kill, hang, or corrupt payloads for).
+        ``None`` when ``config.fault_plan`` is unset or no process-class
+        engine has been created yet; fault injection only instruments the
+        process and sharded backends (the serial/thread paths have no
+        workers to kill, hang, or corrupt payloads for).
         """
         return self._engine.fault_log if self._engine is not None else None
 

@@ -105,10 +105,12 @@ def get_default_dkm_config(**overrides) -> "DKMConfig":
     return DKMConfig(**overrides)
 
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "sharded")
 """Execution backends for the per-layer compression engine: a plain loop
-on the calling thread, a GIL-sharing ``ThreadPoolExecutor``, or a
-``ProcessPoolExecutor`` fed zero-copy shared-memory weight views."""
+on the calling thread, a GIL-sharing ``ThreadPoolExecutor``, a
+``ProcessPoolExecutor`` fed zero-copy shared-memory weight views, or the
+multi-node cluster scheduler (``repro.distributed.scheduler``) that
+shards layers across spawned node executors by weight bytes."""
 
 MP_CONTEXTS = ("spawn", "fork", "forkserver")
 """Accepted ``multiprocessing`` start methods for the process backend."""
@@ -134,7 +136,9 @@ class CompressorConfig:
             Python-side op dispatch; ``"process"`` fans out over a
             ``ProcessPoolExecutor`` whose workers rebuild each layer's
             weight as a zero-copy ``multiprocessing.shared_memory`` view,
-            overlapping dispatch as well.  All three are bit-identical:
+            overlapping dispatch as well; ``"sharded"`` fans out over
+            ``num_nodes`` spawned node executors with byte-balanced layer
+            placement (see ``docs/sharding.md``).  All are bit-identical:
             per-layer clustering shares no state, every layer runs in
             exactly one worker, and results (centroids, assignments,
             step-cache counters, carried attention tables) merge back in
@@ -214,6 +218,25 @@ class CompressorConfig:
         fault_plan: a :class:`~repro.core.faults.FaultPlan` arming the
             engine's deterministic fault injector (chaos testing).
             ``None`` (default) injects nothing.
+        num_nodes: node count for the ``"sharded"`` backend -- each node
+            is a spawned single-worker process group standing in for one
+            host, owning one learner memory domain.  Layers are placed
+            across nodes by weight *bytes* (see
+            :class:`~repro.distributed.scheduler.NodePlacement`); other
+            backends ignore it.
+        node_memory_budget: per-node byte budget for sharded placement.
+            ``0`` (default) means unlimited; a positive budget makes
+            placement raise
+            :class:`~repro.distributed.scheduler.PlacementError` when a
+            single layer exceeds it or greedy packing cannot fit the
+            model, instead of silently overcommitting a node.
+        steal_max_layers: work-stealing bound for the sharded backend --
+            how many of each node's *trailing* pinned layers may be held
+            back per sweep and re-routed to whichever node drains its
+            queue first.  Stolen layers run as transient full tasks on
+            the thief; pinning never changes, so placement stability and
+            bit-identity are preserved.  ``0`` (default) disables
+            stealing (purely static placement).
     """
 
     backend: str = "thread"
@@ -231,6 +254,9 @@ class CompressorConfig:
     max_pool_respawns: int = 8
     degrade: bool = True
     fault_plan: "FaultPlan | None" = None
+    num_nodes: int = 2
+    node_memory_budget: int = 0
+    steal_max_layers: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -276,6 +302,17 @@ class CompressorConfig:
             raise ValueError(
                 f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
             )
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.node_memory_budget < 0:
+            raise ValueError(
+                "node_memory_budget must be >= 0 (0 = unlimited), "
+                f"got {self.node_memory_budget}"
+            )
+        if self.steal_max_layers < 0:
+            raise ValueError(
+                f"steal_max_layers must be >= 0, got {self.steal_max_layers}"
+            )
 
     def resolve_workers(self, n_tasks: int) -> int:
         """Effective pool width for ``n_tasks`` independent layers."""
@@ -283,6 +320,14 @@ class CompressorConfig:
             return 1
         workers = self.num_workers if self.num_workers > 0 else (os.cpu_count() or 1)
         return max(1, min(workers, n_tasks))
+
+    def resolve_nodes(self, n_layers: int) -> int:
+        """Effective node count for ``n_layers`` sharded layers.
+
+        Capped at the layer count -- an empty node would hold no pinned
+        layers and only add spawn cost -- but never below one.
+        """
+        return max(1, min(self.num_nodes, n_layers))
 
     def resolve_task_chunk(self, n_tasks: int) -> int:
         """Layers per process-backend batch (``task_chunk`` or auto)."""
@@ -320,6 +365,9 @@ class CompressorConfig:
             "max_layer_retries": self.max_layer_retries,
             "max_pool_respawns": self.max_pool_respawns,
             "degrade": self.degrade,
+            "num_nodes": self.num_nodes,
+            "node_memory_budget": self.node_memory_budget,
+            "steal_max_layers": self.steal_max_layers,
         }
 
     @classmethod

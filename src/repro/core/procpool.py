@@ -481,6 +481,32 @@ class WorkerCacheRegistry:
                 del self._entries[name]
                 self._leases.release(name)
 
+    def reconcile(self, gossip: "dict[str, tuple[str, int, int]]") -> None:
+        """Converge residency on the coordinator's gossiped sync view.
+
+        ``gossip`` maps layer name to the ``(shm_name, storage version,
+        epoch)`` triple the coordinator believes this worker holds.  Two
+        kinds of divergence are repaired: entries absent from the gossip
+        are pruned (the layer was re-pinned or removed -- same contract
+        as :meth:`prune`), and entries whose resident triple contradicts
+        the gossip are dropped so a later delta addressed to them raises
+        :class:`StaleWorkerCache` instead of resuming from a stale cache.
+        Used by the sharded cluster scheduler, which gossips every node's
+        expected ``(storage, version)`` state once per sweep.
+        """
+        with self._lock:
+            for name in [n for n in self._entries if n not in gossip]:
+                del self._entries[name]
+                self._leases.release(name)
+            for name, (shm_name, version, epoch) in gossip.items():
+                entry = self._entries.get(name)
+                if entry is None:
+                    continue
+                resident = (entry.handle.shm_name, entry.handle.version, entry.epoch)
+                if resident != (shm_name, version, epoch):
+                    del self._entries[name]
+                    self._leases.release(name)
+
     def resident_bytes(self) -> int:
         """Total resident product bytes across all entries."""
         with self._lock:
@@ -876,15 +902,25 @@ class ProcessLayerEngine:
                 self._sweep_index, [name for name, _, _ in layers], op
             )
         try:
-            if self.config.affinity == "sticky":
-                outcomes = self._map_sticky(op, layers, kwargs)
-            else:
-                outcomes = self._map_chunked(op, layers, kwargs)
+            outcomes = self._dispatch(op, layers, kwargs)
         except BaseException:
             self.reset()
             raise
         self._state["inflight"] = []
         return {outcome.name: outcome for outcome in outcomes}
+
+    def _dispatch(self, op, layers, kwargs) -> list[LayerOutcome]:
+        """Route one sweep to the configured scheduling mode.
+
+        The seam subclasses override: the sharded cluster engine
+        (:class:`~repro.distributed.scheduler.ShardedClusterEngine`)
+        replaces this with byte-balanced node placement while inheriting
+        the sweep bookkeeping, fault arming, and reset-on-error contract
+        of :meth:`map_layers` unchanged.
+        """
+        if self.config.affinity == "sticky":
+            return self._map_sticky(op, layers, kwargs)
+        return self._map_chunked(op, layers, kwargs)
 
     # -- chunked mode ---------------------------------------------------
 

@@ -4,8 +4,11 @@ The paper shards DKM's index list over the learners of an FSDP setup
 (8x A100 in their experiments) because fully-synchronous data parallelism
 keeps weights -- hence attention maps and index lists -- bit-identical on
 every learner at every moment.  This package models that setup: a
-:class:`LearnerGroup` is a set of per-learner memory domains, and the
-collectives move real bytes between them while logging traffic.
+:class:`LearnerGroup` is a set of per-learner memory domains, the
+collectives move real bytes between them while logging traffic, and the
+cluster scheduler (:mod:`repro.distributed.scheduler`) shards whole
+compression layers across spawned node executors, each owning one
+learner domain.
 """
 
 from repro.distributed.learner import LearnerGroup
@@ -14,14 +17,36 @@ from repro.distributed.collective import (
     all_gather,
     all_reduce_mean,
     broadcast,
+    logical_nbytes,
     shard_rows,
 )
 
+_SCHEDULER_EXPORTS = ("NodePlacement", "PlacementError", "ShardedClusterEngine")
+
+
+def __getattr__(name: str):
+    """Lazily resolve scheduler exports (PEP 562).
+
+    The scheduler imports ``repro.core.procpool``, which imports
+    ``repro.core.config``, which imports ``repro.distributed.learner`` --
+    importing it eagerly here would close that loop into a cycle the
+    moment anything imports ``repro.core.config`` first.
+    """
+    if name in _SCHEDULER_EXPORTS:
+        from repro.distributed import scheduler
+
+        return getattr(scheduler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "LearnerGroup",
+    "NodePlacement",
+    "PlacementError",
+    "ShardedClusterEngine",
     "ShardedTensor",
     "all_gather",
     "all_reduce_mean",
     "broadcast",
+    "logical_nbytes",
     "shard_rows",
 ]

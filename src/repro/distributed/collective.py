@@ -17,6 +17,19 @@ from repro.tensor.dtype import DType
 from repro.tensor.tensor import Tensor
 
 
+def logical_nbytes(tensor: Tensor) -> int:
+    """Bytes of ``tensor``'s own elements, independent of its storage.
+
+    ``Tensor.nbytes`` reports the *storage* footprint, which a view (a
+    row slice, a transpose) shares with every sibling view -- correct for
+    memory accounting, wrong for traffic accounting: a collective moves
+    only the view's elements, not its whole backing storage.  Every
+    ledger record in this module and in the sharded scheduler's
+    byte-balanced placement uses this logical size instead.
+    """
+    return tensor.numel * tensor.dtype.itemsize
+
+
 class ShardedTensor:
     """A tensor row-partitioned across the learners of a group.
 
@@ -67,7 +80,9 @@ def shard_rows(tensor: Tensor, group: LearnerGroup, tag: str = "shard") -> Shard
     for chunk, dev in zip(chunks, group.devices):
         shard = Tensor.from_numpy(chunk.copy(), dtype=tensor.dtype, device=dev)
         if dev != tensor.device:
-            global_ledger().record(tensor.device.name, dev.name, shard.nbytes, tag=tag)
+            global_ledger().record(
+                tensor.device.name, dev.name, logical_nbytes(shard), tag=tag
+            )
         shards.append(shard)
     return ShardedTensor(shards, group, values.shape)
 
@@ -80,7 +95,9 @@ def all_gather(
     for shard in sharded.shards:
         pieces.append(shard._np())
         if shard.device != device:
-            global_ledger().record(shard.device.name, device.name, shard.nbytes, tag=tag)
+            global_ledger().record(
+                shard.device.name, device.name, logical_nbytes(shard), tag=tag
+            )
     full = np.concatenate(pieces, axis=0).reshape(sharded.full_shape)
     return Tensor.from_numpy(full, dtype=sharded.dtype, device=device)
 
@@ -96,22 +113,44 @@ def all_reduce_mean(tensors: list[Tensor], tag: str = "all_reduce") -> None:
     for t in tensors:
         for other in tensors:
             if other.device != t.device:
+                # Logical bytes, not t.nbytes: a replica that is a view
+                # of a larger storage exchanges only its own elements.
                 global_ledger().record(
-                    other.device.name, t.device.name, t.nbytes, tag=tag
+                    other.device.name, t.device.name, logical_nbytes(t), tag=tag
                 )
         break  # ring cost approximation: one full exchange
     for t in tensors:
         t.copy_(mean)
 
 
-def broadcast(tensor: Tensor, group: LearnerGroup, tag: str = "broadcast") -> list[Tensor]:
-    """Replicate ``tensor`` onto every learner device."""
+def broadcast(
+    tensor: Tensor,
+    group: LearnerGroup,
+    tag: str = "broadcast",
+    copy_local: bool = False,
+) -> list[Tensor]:
+    """Replicate ``tensor`` onto every learner device.
+
+    By default the replica on ``tensor``'s own device *is* ``tensor``
+    (zero-copy, matching the data-parallel optimizer's contract).  Pass
+    ``copy_local=True`` to get an independent copy there too: aliasing
+    learner-local state to the master copy means an in-place update
+    through the "replica" silently corrupts the source, which the
+    sharded scheduler's rejoin path -- re-shipping pristine master
+    weights to a respawned node -- cannot tolerate.  The local copy
+    moves no bytes either way, so it is never ledgered.
+    """
     replicas = []
     for dev in group.devices:
-        if dev == tensor.device:
+        if dev == tensor.device and not copy_local:
             replicas.append(tensor)
-        else:
-            replica = Tensor.from_numpy(tensor._np(), dtype=tensor.dtype, device=dev)
-            global_ledger().record(tensor.device.name, dev.name, replica.nbytes, tag=tag)
-            replicas.append(replica)
+            continue
+        replica = Tensor.from_numpy(
+            np.array(tensor._np(), copy=True), dtype=tensor.dtype, device=dev
+        )
+        if dev != tensor.device:
+            global_ledger().record(
+                tensor.device.name, dev.name, logical_nbytes(replica), tag=tag
+            )
+        replicas.append(replica)
     return replicas

@@ -1,0 +1,188 @@
+"""Direct tests for :mod:`repro.distributed.collective`.
+
+The module predates its first consumer (the sharded cluster scheduler);
+wiring it in surfaced two defects, kept here as regression tests:
+
+- ``broadcast`` returned the *source tensor itself* as the local
+  learner's replica, so an in-place update through the replica silently
+  corrupted the master copy -- fatal for the scheduler's rejoin path,
+  which re-ships pristine master weights to a respawned node.
+- Ledger records used ``Tensor.nbytes`` (the *storage* footprint, shared
+  across views), so a collective over a row-slice view billed the whole
+  backing storage instead of the bytes actually moved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    LearnerGroup,
+    ShardedTensor,
+    all_gather,
+    all_reduce_mean,
+    broadcast,
+    logical_nbytes,
+    shard_rows,
+)
+from repro.memory.traffic import global_ledger
+from repro.tensor.dtype import bfloat16, float32
+from repro.tensor.tensor import Tensor
+
+
+def _tensor(shape, seed=0, dtype=float32, device=None):
+    values = np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    kwargs = {"dtype": dtype}
+    if device is not None:
+        kwargs["device"] = device
+    return Tensor.from_numpy(values, **kwargs)
+
+
+@pytest.fixture()
+def ledger():
+    ledger = global_ledger()
+    ledger.clear()
+    yield ledger
+    ledger.clear()
+
+
+class TestLogicalNbytes:
+    def test_owner_matches_storage(self):
+        tensor = _tensor((8, 8))
+        assert logical_nbytes(tensor) == 8 * 8 * 4 == tensor.nbytes
+
+    def test_view_counts_only_its_elements(self):
+        """Regression: a 2-row slice of an 8x8 storage moves 2x8 elements,
+        not 8x8 -- ``Tensor.nbytes`` reports the latter."""
+        base = _tensor((8, 8))
+        view = base[0:2]
+        assert logical_nbytes(view) == 2 * 8 * 4
+        assert view.nbytes == 8 * 8 * 4  # storage bytes: the defect's source
+
+
+class TestShardRows:
+    @pytest.mark.parametrize("dtype", [float32, bfloat16], ids=["f32", "bf16"])
+    def test_round_trip(self, dtype):
+        group = LearnerGroup(4)
+        tensor = _tensor((10, 6), dtype=dtype, device=group.primary)
+        sharded = shard_rows(tensor, group)
+        gathered = all_gather(sharded, group.primary)
+        assert gathered.shape == tensor.shape
+        assert gathered.dtype is dtype
+        assert np.array_equal(gathered._np(), tensor._np())
+
+    def test_round_trip_1d(self):
+        group = LearnerGroup(3)
+        tensor = _tensor((7,), device=group.primary)
+        gathered = all_gather(shard_rows(tensor, group), group.primary)
+        assert np.array_equal(gathered._np(), tensor._np())
+
+    def test_fewer_rows_than_learners(self):
+        """np.array_split yields empty shards; they must survive the trip."""
+        group = LearnerGroup(4)
+        tensor = _tensor((2, 5), device=group.primary)
+        sharded = shard_rows(tensor, group)
+        assert len(sharded.shards) == 4
+        gathered = all_gather(sharded, group.primary)
+        assert np.array_equal(gathered._np(), tensor._np())
+
+    def test_shard_count_mismatch_rejected(self):
+        group = LearnerGroup(3)
+        tensor = _tensor((6, 2), device=group.primary)
+        with pytest.raises(ValueError, match="shards for 3 learners"):
+            ShardedTensor([tensor], group, tensor.shape)
+
+    def test_scatter_ledger_accounting(self, ledger):
+        group = LearnerGroup(4)
+        tensor = _tensor((8, 4), device=group.primary)
+        shard_rows(tensor, group, tag="scatter-test")
+        records = [t for t in ledger.transfers() if t.tag == "scatter-test"]
+        # Learner 0's shard is local: three transfers, each one shard.
+        assert len(records) == 3
+        assert all(t.nbytes == 2 * 4 * 4 for t in records)
+        assert all(t.src == group.primary.name for t in records)
+
+
+class TestAllGather:
+    def test_ledger_accounting(self, ledger):
+        group = LearnerGroup(4)
+        tensor = _tensor((8, 4), device=group.primary)
+        sharded = shard_rows(tensor, group)
+        ledger.clear()
+        all_gather(sharded, group.primary, tag="gather-test")
+        records = [t for t in ledger.transfers() if t.tag == "gather-test"]
+        assert len(records) == 3  # local shard moves nothing
+        assert all(t.nbytes == 2 * 4 * 4 for t in records)
+        assert all(t.dst == group.primary.name for t in records)
+
+
+class TestAllReduceMean:
+    def test_mean_values(self):
+        group = LearnerGroup(3)
+        replicas = [
+            Tensor.from_numpy(
+                np.full((2, 2), float(i), dtype=np.float32), device=dev
+            )
+            for i, dev in enumerate(group.devices)
+        ]
+        all_reduce_mean(replicas)
+        for replica in replicas:
+            assert np.allclose(replica._np(), 1.0)
+
+    def test_rejects_empty_and_mismatched(self):
+        group = LearnerGroup(2)
+        with pytest.raises(ValueError, match="zero tensors"):
+            all_reduce_mean([])
+        a = _tensor((2, 2), device=group.devices[0])
+        b = _tensor((3, 2), device=group.devices[1])
+        with pytest.raises(ValueError, match="mismatched replica shapes"):
+            all_reduce_mean([a, b])
+
+    def test_view_replica_ledgers_logical_bytes(self, ledger):
+        """Regression: reducing 2x8 row views of 8x8 storages must bill
+        64 bytes per transfer, not the 256-byte storage footprint."""
+        group = LearnerGroup(2)
+        views = [
+            _tensor((8, 8), seed=i, device=dev)[0:2]
+            for i, dev in enumerate(group.devices)
+        ]
+        all_reduce_mean(views, tag="reduce-test")
+        records = [t for t in ledger.transfers() if t.tag == "reduce-test"]
+        assert records  # one exchange ledgered (ring approximation)
+        assert all(t.nbytes == 2 * 8 * 4 for t in records)
+
+
+class TestBroadcast:
+    def test_replicates_to_every_device(self):
+        group = LearnerGroup(3)
+        tensor = _tensor((4, 4), device=group.primary)
+        replicas = broadcast(tensor, group)
+        assert len(replicas) == 3
+        for replica, dev in zip(replicas, group.devices):
+            assert replica.device == dev
+            assert np.array_equal(replica._np(), tensor._np())
+
+    def test_local_replica_aliases_by_default(self):
+        group = LearnerGroup(2)
+        tensor = _tensor((4, 4), device=group.primary)
+        replicas = broadcast(tensor, group)
+        assert replicas[0] is tensor  # data-parallel optimizer contract
+
+    def test_copy_local_isolates_master(self):
+        """With ``copy_local=True`` zeroing the local replica must leave
+        the master weights intact -- the sharded rejoin path re-ships
+        pristine masters and cannot tolerate aliasing."""
+        group = LearnerGroup(2)
+        tensor = _tensor((4, 4), device=group.primary)
+        original = tensor._np().copy()
+        replicas = broadcast(tensor, group, copy_local=True)
+        assert replicas[0] is not tensor
+        replicas[0].copy_(Tensor.from_numpy(np.zeros((4, 4), dtype=np.float32)))
+        assert np.array_equal(tensor._np(), original)  # master untouched
+
+    def test_local_copy_not_ledgered(self, ledger):
+        group = LearnerGroup(3)
+        tensor = _tensor((4, 4), device=group.primary)
+        broadcast(tensor, group, tag="bcast-test", copy_local=True)
+        records = [t for t in ledger.transfers() if t.tag == "bcast-test"]
+        assert len(records) == 2  # peers only; the local copy moves no bytes
+        assert all(t.nbytes == 4 * 4 * 4 for t in records)

@@ -1,0 +1,183 @@
+"""Tests for the coverage tooling: ``tools.covlite`` (the local
+settrace collector) and ``tools.check_coverage`` (the shrink-only
+per-package ratchet that CI runs against pytest-cov's ``coverage.json``).
+"""
+
+import json
+import os
+import sys
+import textwrap
+
+import pytest
+
+from tools import check_coverage, covlite
+
+
+@pytest.fixture
+def covlite_sandbox():
+    """Isolate covlite's module globals so these tests can install /
+    uninstall / clear freely without wiping the *session's* collection
+    when the whole suite itself runs under ``REPRO_COV=1``."""
+    saved_executed = covlite._executed
+    saved_root = covlite._root
+    was_active = sys.gettrace() is covlite._trace
+    covlite._executed = {}
+    try:
+        yield
+    finally:
+        covlite.uninstall()
+        covlite._executed = saved_executed
+        covlite._root = saved_root
+        if was_active and saved_root is not None:
+            covlite.install(saved_root.rstrip(os.sep))
+
+
+def _write_coverage(path, files):
+    payload = {
+        "files": {
+            name: {
+                "executed_lines": [],
+                "missing_lines": [],
+                "summary": {
+                    "covered_lines": covered,
+                    "num_statements": statements,
+                    "percent_covered": (
+                        100.0 * covered / statements if statements else 100.0
+                    ),
+                },
+            }
+            for name, (covered, statements) in files.items()
+        }
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _write_baseline(path, floors):
+    path.write_text(json.dumps({"version": 1, "floors": floors}))
+    return path
+
+
+class TestCovlite:
+    def test_statement_lines_skip_non_executable(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text(
+            textwrap.dedent(
+                '''
+                """Docstring, not a statement beyond line 2."""
+
+                def f(x):
+                    # comment: never executable
+                    if x:
+                        return 1
+                    return 2
+                '''
+            )
+        )
+        lines = covlite.statement_lines(str(source))
+        assert 5 not in lines  # the comment
+        assert {6, 7, 8} <= lines  # if / both returns
+
+    def test_trace_records_executed_lines(self, tmp_path, covlite_sandbox):
+        source = tmp_path / "traced.py"
+        source.write_text("def f(x):\n    if x:\n        return 1\n    return 2\n")
+        namespace = {}
+        exec(compile(source.read_text(), str(source), "exec"), namespace)
+        covlite.install(str(tmp_path))
+        try:
+            namespace["f"](True)
+        finally:
+            covlite.uninstall()
+        executed = covlite._executed.get(str(source), set())
+        assert {2, 3} <= executed
+        assert 4 not in executed  # the untaken branch
+
+    def test_report_schema(self, tmp_path, covlite_sandbox):
+        source_root = tmp_path / "src"
+        source_root.mkdir()
+        (source_root / "mod.py").write_text("x = 1\ny = 2\n")
+        payload = covlite.report(
+            str(source_root), str(tmp_path / "coverage.json"), str(tmp_path)
+        )
+        entry = payload["files"]["src/mod.py"]
+        assert entry["summary"]["num_statements"] == 2
+        assert entry["summary"]["covered_lines"] == 0
+        assert payload["totals"]["num_statements"] == 2
+
+
+class TestCheckCoverage:
+    def test_aggregates_by_package_not_by_file(self, tmp_path):
+        coverage_path = _write_coverage(
+            tmp_path / "coverage.json",
+            {
+                "src/repro/distributed/big.py": (10, 100),
+                "src/repro/distributed/small.py": (10, 10),
+            },
+        )
+        with open(coverage_path) as fh:
+            percents = check_coverage.package_percents(
+                json.load(fh), ["src/repro/distributed"]
+            )
+        percent, covered, statements = percents["src/repro/distributed"]
+        # 20/110, not the 55% a per-file average would claim.
+        assert covered == 20 and statements == 110
+        assert percent == pytest.approx(100.0 * 20 / 110)
+
+    def test_gate_passes_at_floor_and_fails_below(self, tmp_path):
+        coverage_path = _write_coverage(
+            tmp_path / "coverage.json", {"src/pkg/mod.py": (90, 100)}
+        )
+        passing = _write_baseline(tmp_path / "ok.json", {"src/pkg": 90.0})
+        failing = _write_baseline(tmp_path / "bad.json", {"src/pkg": 95.0})
+        assert (
+            check_coverage.main(
+                ["--coverage", str(coverage_path), "--baseline", str(passing)]
+            )
+            == 0
+        )
+        assert (
+            check_coverage.main(
+                ["--coverage", str(coverage_path), "--baseline", str(failing)]
+            )
+            == 1
+        )
+
+    def test_unmeasured_package_fails(self, tmp_path):
+        """A path typo must not silently pass at a vacuous 100%."""
+        coverage_path = _write_coverage(
+            tmp_path / "coverage.json", {"src/pkg/mod.py": (10, 10)}
+        )
+        baseline = _write_baseline(tmp_path / "base.json", {"src/ghost": 0.0})
+        assert (
+            check_coverage.main(
+                ["--coverage", str(coverage_path), "--baseline", str(baseline)]
+            )
+            == 1
+        )
+
+    def test_update_only_raises_floors(self, tmp_path):
+        coverage_path = _write_coverage(
+            tmp_path / "coverage.json",
+            {"src/up/mod.py": (95, 100), "src/down/mod.py": (30, 100)},
+        )
+        baseline = _write_baseline(
+            tmp_path / "base.json", {"src/up": 80.0, "src/down": 40.0}
+        )
+        check_coverage.main(
+            [
+                "--coverage",
+                str(coverage_path),
+                "--baseline",
+                str(baseline),
+                "--update",
+            ]
+        )
+        floors = json.loads(baseline.read_text())["floors"]
+        assert floors["src/up"] == 95.0  # ratcheted up to measured
+        assert floors["src/down"] == 40.0  # never lowered
+
+    def test_rejects_malformed_baseline(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"entries": []}))
+        with pytest.raises(SystemExit, match="not a version-1"):
+            check_coverage.load_baseline(str(bad))

@@ -1,0 +1,124 @@
+"""Per-package coverage ratchet (the ``repolint``-baseline pattern).
+
+Reads a ``coverage.json`` -- written by ``pytest-cov`` in CI or by
+:mod:`tools.covlite` locally -- aggregates line coverage per source
+package, and gates each against the floors recorded in
+``tools/coverage_baseline.json``.  Floors are *shrink-only debt*: they
+were seeded from measured values and ``--update`` can only raise them
+(a coverage regression below a floor fails; new code that lifts a
+package's coverage becomes the new floor on the next update, so the
+gap can never silently widen).
+
+    python -m tools.check_coverage --coverage coverage.json
+    python -m tools.check_coverage --coverage coverage.json --update
+
+Baseline schema::
+
+    {"version": 1, "floors": {"src/repro/distributed": 90.0, ...}}
+
+A package key matches every file whose repo-relative path starts with
+``<key>/`` (or equals ``<key>.py``); percent is aggregated over covered
+and total statements, not averaged over files, so one large uncovered
+module cannot hide behind many small covered ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(__file__), "coverage_baseline.json")
+
+# Below-floor slack: measured percent may sit this far under the floor
+# before the gate trips, absorbing line-table drift between Python
+# versions (the floors were measured on one minor version).
+TOLERANCE = 0.05
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") != 1 or "floors" not in payload:
+        raise SystemExit(f"{path}: not a version-1 coverage baseline")
+    return payload
+
+
+def package_percents(
+    coverage: dict, packages: "list[str]"
+) -> dict[str, tuple[float, int, int]]:
+    """``{package: (percent, covered, statements)}`` aggregated by prefix."""
+    stats = {package: [0, 0] for package in packages}
+    for path, entry in coverage.get("files", {}).items():
+        normalized = path.replace(os.sep, "/")
+        summary = entry["summary"]
+        for package in packages:
+            if normalized.startswith(package + "/") or normalized == package + ".py":
+                stats[package][0] += summary["covered_lines"]
+                stats[package][1] += summary["num_statements"]
+    return {
+        package: (
+            (100.0 * covered / statements if statements else 100.0),
+            covered,
+            statements,
+        )
+        for package, (covered, statements) in stats.items()
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--coverage", default="coverage.json")
+    parser.add_argument("--baseline", default=BASELINE)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise floors to measured values (never lowers them)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.coverage, encoding="utf-8") as fh:
+        coverage = json.load(fh)
+    baseline = load_baseline(args.baseline)
+    floors: dict[str, float] = baseline["floors"]
+
+    measured = package_percents(coverage, list(floors))
+    failures = []
+    for package, floor in sorted(floors.items()):
+        percent, covered, statements = measured[package]
+        status = "ok" if percent + TOLERANCE >= floor else "FAIL"
+        print(
+            f"{status:<4} {package:<28} {percent:6.2f}% "
+            f"({covered}/{statements} lines, floor {floor:.2f}%)"
+        )
+        if statements == 0:
+            failures.append(f"{package}: no measured files (path mismatch?)")
+        elif percent + TOLERANCE < floor:
+            failures.append(
+                f"{package}: {percent:.2f}% is below the {floor:.2f}% floor"
+            )
+
+    if args.update:
+        raised = {
+            package: max(floor, math.floor(measured[package][0] * 100) / 100)
+            for package, floor in floors.items()
+        }
+        if raised != floors:
+            baseline["floors"] = raised
+            with open(args.baseline, "w", encoding="utf-8") as fh:
+                json.dump(baseline, fh, indent=2)
+                fh.write("\n")
+            print(f"updated {args.baseline}")
+
+    if failures:
+        print("\ncoverage ratchet FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
