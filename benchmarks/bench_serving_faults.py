@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Chaos-serving benchmark entry point.
+
+Trains one small model, compresses it, and replays the same request
+load through a matrix of injected serving faults (fault kind x client
+count) with clients that retry on the typed ``StepFailed`` crash
+boundary, plus a breaker-repromotion scenario and a draining-shutdown
+scenario.  The run is *gated* on:
+
+- bit-identical completions in **every** scenario -- including the runs
+  where the watchdog revoked a hung loop or the circuit breaker tripped
+  a layer onto the dense path -- matching offline ``generate`` on the
+  same compressed weights;
+- every armed fault spec actually fired (reconciled in the injector's
+  fault log), so green cannot mean "the chaos never happened";
+- no stranded futures: every client thread joins, every submitted
+  request resolves;
+- ``stop()`` returning within a fixed deadline in every scenario;
+- the breaker round-trip ending with every breaker closed, and
+  ``stop(drain=True)`` completing all in-flight requests.
+
+Wall times are recorded but not gated -- CI runners are noisy.  Writes
+``benchmarks/results/BENCH_serving_faults.json`` (schema:
+``docs/benchmarks.md``).
+
+    PYTHONPATH=src python benchmarks/bench_serving_faults.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving_faults.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.serving_faults import (  # noqa: E402
+    STOP_DEADLINE_S,
+    run_serving_faults,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_serving_faults.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--prompts", type=int, default=4)
+    parser.add_argument("--max-new-tokens", type=int, default=6)
+    parser.add_argument("--bits", type=int, default=4)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller corpus and single client count (CI smoke configuration)",
+    )
+    parser.add_argument("--output", default=ARTIFACT)
+    args = parser.parse_args(argv)
+
+    result = run_serving_faults(
+        n_prompts=args.prompts,
+        max_new_tokens=4 if args.quick else args.max_new_tokens,
+        bits=args.bits,
+        sentences=120 if args.quick else 400,
+        epochs=1 if args.quick else 2,
+        client_matrix=(4,) if args.quick else (1, 4),
+        seed=args.seed,
+    )
+
+    payload = result.to_json_dict()
+    failures: list[str] = []
+    for row in payload["rows"]:
+        events = ", ".join(
+            f"{kind}x{count}" for kind, count in sorted(row["fault_events"].items())
+        )
+        print(
+            f"{row['scenario']:<22} clients={row['clients']}  "
+            f"completed={row['completed']}/{row['submitted']}  "
+            f"retries={row['client_retries']}  "
+            f"identical={row['tokens_identical']}  "
+            f"stop={row['stop_s']:.2f}s  "
+            f"events=[{events or '-'}]"
+        )
+        if not row["tokens_identical"]:
+            failures.append(
+                f"{row['scenario']}: completions differ from the offline "
+                "reference (faults were not survived bit-identically)"
+            )
+        if row["stranded"]:
+            failures.append(
+                f"{row['scenario']}: a client thread never joined -- "
+                "a submitted request was stranded"
+            )
+        if row["unfired_specs"]:
+            failures.append(
+                f"{row['scenario']}: {row['unfired_specs']} armed fault "
+                "spec(s) never fired (the chaos did not happen)"
+            )
+        if row["stop_s"] > STOP_DEADLINE_S:
+            failures.append(
+                f"{row['scenario']}: stop() took {row['stop_s']:.2f}s "
+                f"(deadline {STOP_DEADLINE_S:.0f}s)"
+            )
+
+    breaker = payload["breaker"]
+    print(
+        f"breaker: trips={breaker['trips']} "
+        f"repromotions={breaker['repromotions']} "
+        f"final_states_closed={breaker['final_states_closed']}"
+    )
+    if breaker["trips"] == 0:
+        failures.append("breaker never tripped (kernel faults went unnoticed)")
+    if breaker["repromotions"] == 0:
+        failures.append(
+            "breaker never re-promoted (probation path was not exercised)"
+        )
+    if not breaker["final_states_closed"]:
+        failures.append(
+            "breaker-repromotion scenario ended with a non-closed breaker"
+        )
+    drain = payload["drain"]
+    print(
+        f"drain: completed={drain['completed']}/{payload['n_prompts']} "
+        f"ok={drain['ok']}"
+    )
+    if not drain["ok"]:
+        failures.append(
+            "stop(drain=True) did not finish all in-flight requests "
+            "bit-identically within the deadline"
+        )
+    hang_rows = [r for r in payload["rows"] if r["kind"] == "hang_step"]
+    if hang_rows and not any(r["watchdog_kills"] for r in hang_rows):
+        failures.append(
+            "hang_step scenario ran without a watchdog kill "
+            "(the hang was not injected or not detected)"
+        )
+    print(
+        f"tokens-identical={payload['tokens_identical']}  "
+        f"faults-reconciled={payload['faults_reconciled']}  "
+        f"no-stranded-futures={payload['no_stranded_futures']}  "
+        f"shutdown-bounded={payload['shutdown_bounded']}  "
+        f"cpu_count={payload['cpu_count']}"
+    )
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    payload["seed"] = args.seed
+    payload["quick"] = args.quick
+    payload["ok"] = not failures
+    payload["failures"] = failures
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all chaos-serving assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

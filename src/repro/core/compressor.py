@@ -262,17 +262,19 @@ class ClusteredLinear(Module):
         name: str = "",
         tile_rows: int = 32,
         cache=None,
+        fault_hook=None,
     ) -> None:
         """Route no-grad eval forwards through the palette executor.
 
         ``cache`` is an optional shared
         :class:`~repro.serving.palette.TileCache`; ``name`` keys this
-        layer's tiles in it.  The executor itself is built lazily on the
-        first palette forward and rebuilt whenever the weight storage
-        version moves, so enabling is cheap and never serves stale
-        palettes.
+        layer's tiles in it.  ``fault_hook`` (serving chaos harness) is
+        called with the layer name at every palette matmul entry.  The
+        executor itself is built lazily on the first palette forward and
+        rebuilt whenever the weight storage version moves, so enabling is
+        cheap and never serves stale palettes.
         """
-        self._palette_opts = (name, max(1, int(tile_rows)), cache)
+        self._palette_opts = (name, max(1, int(tile_rows)), cache, fault_hook)
         self._palette_exec = None
 
     def disable_palette_eval(self) -> None:
@@ -300,7 +302,7 @@ class ClusteredLinear(Module):
         """The executor for the current weight version, (re)built lazily."""
         from repro.serving.palette import PaletteLinearExec
 
-        name, tile_rows, cache = self._palette_opts
+        name, tile_rows, cache, fault_hook = self._palette_opts
         key = self._weight_version_key()
         exec_ = self._palette_exec
         if exec_ is not None and exec_.version_token == key:
@@ -321,6 +323,7 @@ class ClusteredLinear(Module):
             tile_rows=tile_rows,
             cache=cache,
             version_token=key,
+            fault_hook=fault_hook,
         )
         self._palette_exec = exec_
         return exec_

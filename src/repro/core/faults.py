@@ -49,7 +49,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 FAULT_KINDS = ("kill", "hang", "delay", "transient", "corrupt_delta", "drop_shm")
 """Injectable fault classes: hard-kill the worker mid-task, hang it past
@@ -140,6 +140,11 @@ class FaultSpec:
     ``seconds`` parameterizes ``delay``/``hang`` durations.
     """
 
+    #: The kinds a spec of this class may arm.  Subclasses (the serving
+    #: fault layer in :mod:`repro.serving.faults`) override this to extend
+    #: the taxonomy while reusing the seeded-determinism machinery.
+    VALID_KINDS: ClassVar[tuple[str, ...]] = FAULT_KINDS
+
     kind: str
     sweep: int = 1
     layer: str | None = None
@@ -148,9 +153,10 @@ class FaultSpec:
     seconds: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        kinds = type(self).VALID_KINDS
+        if self.kind not in kinds:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of {kinds}"
             )
         if self.sweep < 1:
             raise ValueError(f"sweep is 1-based, got {self.sweep}")
@@ -168,6 +174,10 @@ class FaultPlan:
     injector.  The plan is immutable; the injector tracks firing state.
     """
 
+    #: The spec class :meth:`single` constructs; subclasses pair with
+    #: their own :class:`FaultSpec` subclass.
+    SPEC_CLASS: ClassVar[type] = FaultSpec
+
     specs: tuple[FaultSpec, ...] = ()
     seed: int = 0
 
@@ -178,7 +188,7 @@ class FaultPlan:
     @classmethod
     def single(cls, kind: str, sweep: int = 1, **kwargs) -> "FaultPlan":
         """A one-spec plan -- the common chaos-benchmark shape."""
-        return cls(specs=(FaultSpec(kind=kind, sweep=sweep, **kwargs),))
+        return cls(specs=(cls.SPEC_CLASS(kind=kind, sweep=sweep, **kwargs),))
 
 
 @dataclass(frozen=True)

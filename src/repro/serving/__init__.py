@@ -8,13 +8,30 @@ hot dequantized-tile LRU (:mod:`repro.serving.palette`), and per-request
 latency/throughput/byte accounting (:mod:`repro.serving.stats`), all
 fronted by :class:`~repro.serving.server.PaletteServer` (or the
 top-level ``repro.serve()`` convenience).
+
+The server is chaos-hardened (:mod:`repro.serving.faults`): a supervised
+scheduler with a per-step crash boundary and watchdog, a per-layer
+palette->dense circuit breaker (:mod:`repro.serving.breaker`), draining
+shutdown, and a deterministic fault injector armed via
+``ServingConfig.fault_plan``.
 """
 
 from repro.serving.batcher import ContinuousBatcher, SequenceState
+from repro.serving.breaker import BreakerBoard, BreakerSnapshot
 from repro.serving.config import (
     EVAL_PATHS,
     ServingConfig,
     get_default_serving_config,
+)
+from repro.serving.faults import (
+    LAYER_FAULT_KINDS,
+    SERVING_FAULT_KINDS,
+    CorruptTileError,
+    PaletteKernelError,
+    ServingFaultInjector,
+    ServingFaultPlan,
+    ServingFaultSpec,
+    TransientStepError,
 )
 from repro.serving.palette import (
     PaletteLayout,
@@ -30,9 +47,11 @@ from repro.serving.queue import (
     ServerClosed,
     ServerRequest,
     ServingError,
+    StepFailed,
 )
-from repro.serving.server import PaletteServer
+from repro.serving.server import LoopSupervisor, PaletteServer, ServerHealth
 from repro.serving.stats import (
+    DEGRADE_TAG,
     RequestRecord,
     ServerStats,
     StatsReport,
@@ -41,10 +60,18 @@ from repro.serving.stats import (
 )
 
 __all__ = [
+    "DEGRADE_TAG",
     "EVAL_PATHS",
+    "LAYER_FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
     "AdmissionError",
+    "BreakerBoard",
+    "BreakerSnapshot",
     "ContinuousBatcher",
+    "CorruptTileError",
     "DeadlineExceeded",
+    "LoopSupervisor",
+    "PaletteKernelError",
     "PaletteLayout",
     "PaletteLinearExec",
     "PaletteServer",
@@ -52,13 +79,19 @@ __all__ = [
     "RequestRecord",
     "SequenceState",
     "ServerClosed",
+    "ServerHealth",
     "ServerRequest",
     "ServerStats",
     "ServingConfig",
     "ServingError",
+    "ServingFaultInjector",
+    "ServingFaultPlan",
+    "ServingFaultSpec",
     "StatsReport",
+    "StepFailed",
     "TileCache",
     "TileCacheStats",
+    "TransientStepError",
     "get_default_serving_config",
     "palette_matmul",
     "percentile",

@@ -128,19 +128,25 @@ class ContinuousBatcher:
         return retired
 
     def abort_all(self, error: BaseException) -> int:
-        """Fail every in-flight sequence (server shutdown); returns count."""
+        """Fail every in-flight sequence (server shutdown); returns count.
+
+        Only sequences whose request this call actually resolved are
+        counted and recorded -- a request already failed by the step
+        watchdog (idempotent futures, first resolution wins) is skipped.
+        """
         aborted = 0
         for seq in self.active:
-            seq.request.fail(error)
-            self.stats.note_finished(
-                RequestRecord.from_request(seq.request, seq.prompt_tokens)
-            )
-            aborted += 1
+            if seq.request.fail(error):
+                self.stats.note_finished(
+                    RequestRecord.from_request(seq.request, seq.prompt_tokens)
+                )
+                aborted += 1
         self.active = []
         return aborted
 
     def _finish(self, seq: SequenceState) -> None:
-        seq.request.complete(self.tokenizer.decode(seq.generated))
+        if not seq.request.complete(self.tokenizer.decode(seq.generated)):
+            return  # already resolved elsewhere (watchdog); nothing to record
         self.stats.note_finished(
             RequestRecord.from_request(seq.request, seq.prompt_tokens)
         )
@@ -148,12 +154,14 @@ class ContinuousBatcher:
             self.on_retire(seq)
 
     def _abort_deadline(self, seq: SequenceState, now: float) -> None:
-        seq.request.fail(
+        resolved = seq.request.fail(
             DeadlineExceeded(
                 f"request {seq.request.id} missed its deadline mid-decode"
             ),
             now=now,
         )
+        if not resolved:
+            return
         self.stats.note_aborted_deadline()
         self.stats.note_finished(
             RequestRecord.from_request(seq.request, seq.prompt_tokens)

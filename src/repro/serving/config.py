@@ -10,7 +10,11 @@ checkpoint manifests and CI benchmark artifacts embed.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.faults import ServingFaultPlan
 
 EVAL_PATHS = ("palette", "dense")
 """Eval-mode execution paths for compressed layers: ``"palette"`` runs the
@@ -56,6 +60,41 @@ class ServingConfig:
             compare.
         poll_interval_s: how long the scheduler thread sleeps waiting for
             work when the queue is empty and no sequence is active.
+        step_timeout_s: per-decode-step watchdog deadline.  A step still
+            running after this many seconds is declared hung: its batch's
+            requests fail with :class:`~repro.serving.queue.StepFailed`,
+            the loop generation is revoked (the stuck thread becomes a
+            zombie whose late writes are discarded), and a fresh
+            scheduler loop is respawned.  ``None`` (default) disables the
+            watchdog.
+        max_step_retries: bounded retries for a decode step that raised
+            :class:`~repro.serving.faults.TransientStepError` before the
+            batch is failed with ``StepFailed``.
+        step_retry_backoff_s: base sleep between step retries; attempt
+            ``n`` waits ``n * step_retry_backoff_s``.
+        max_loop_respawns: watchdog kill budget.  After this many loop
+            respawns the server stops respawning and fails over to
+            rejecting work (dead-loop admission raises
+            :class:`~repro.serving.queue.ServerClosed`).
+        join_timeout_s: how long :meth:`PaletteServer.stop` waits for the
+            scheduler thread to exit before escalating (warn, zombify the
+            loop, fail whatever is still in flight) instead of
+            deadlocking the caller.
+        drain_timeout_s: deadline for ``stop(drain=True)`` to finish
+            in-flight and queued work before falling back to a hard stop.
+        breaker_threshold: consecutive palette-path failures (kernel
+            errors or tile digest mismatches) on one layer before its
+            circuit breaker trips that layer to the dense path.
+        breaker_probation_steps: fault-free decode steps a tripped layer
+            serves dense before the breaker re-enables its palette path
+            (doubled on each re-trip, capped at 8x).
+        tile_digest_checks: whether the tile LRU stamps and verifies a
+            content digest on every cached tile, turning silent
+            corruption into a typed
+            :class:`~repro.serving.faults.CorruptTileError`.
+        fault_plan: a :class:`~repro.serving.faults.ServingFaultPlan`
+            arming the server's deterministic fault injector (chaos
+            testing).  ``None`` (default) injects nothing.
     """
 
     max_batch_size: int = 8
@@ -67,6 +106,16 @@ class ServingConfig:
     tile_cache_bytes_limit: int = 0
     temperature: float = 0.0
     poll_interval_s: float = 0.005
+    step_timeout_s: float | None = None
+    max_step_retries: int = 2
+    step_retry_backoff_s: float = 0.02
+    max_loop_respawns: int = 4
+    join_timeout_s: float = 5.0
+    drain_timeout_s: float = 30.0
+    breaker_threshold: int = 2
+    breaker_probation_steps: int = 16
+    tile_digest_checks: bool = True
+    fault_plan: "ServingFaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -99,10 +148,69 @@ class ServingConfig:
             raise ValueError(
                 f"poll_interval_s must be positive, got {self.poll_interval_s}"
             )
+        if self.step_timeout_s is not None and self.step_timeout_s <= 0:
+            raise ValueError(
+                "step_timeout_s must be positive or None, "
+                f"got {self.step_timeout_s}"
+            )
+        if self.max_step_retries < 0:
+            raise ValueError(
+                f"max_step_retries must be >= 0, got {self.max_step_retries}"
+            )
+        if self.step_retry_backoff_s < 0:
+            raise ValueError(
+                "step_retry_backoff_s must be >= 0, "
+                f"got {self.step_retry_backoff_s}"
+            )
+        if self.max_loop_respawns < 0:
+            raise ValueError(
+                f"max_loop_respawns must be >= 0, got {self.max_loop_respawns}"
+            )
+        if self.join_timeout_s <= 0:
+            raise ValueError(
+                f"join_timeout_s must be positive, got {self.join_timeout_s}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be positive, got {self.drain_timeout_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_probation_steps < 1:
+            raise ValueError(
+                "breaker_probation_steps must be >= 1, "
+                f"got {self.breaker_probation_steps}"
+            )
+        if self.fault_plan is not None:
+            from repro.serving.faults import ServingFaultPlan
+
+            if not isinstance(self.fault_plan, ServingFaultPlan):
+                raise ValueError(
+                    "fault_plan must be a ServingFaultPlan or None, "
+                    f"got {type(self.fault_plan).__name__}"
+                )
 
     def to_dict(self) -> dict:
-        """A plain-primitive dict that :meth:`from_dict` rebuilds exactly."""
-        return asdict(self)
+        """A plain-primitive dict that :meth:`from_dict` rebuilds exactly.
+
+        A config with an armed ``fault_plan`` refuses to serialize --
+        the same contract as ``CompressorConfig``: fault plans are
+        in-memory chaos-test instruments, not deployment state, and
+        silently dropping one would make a persisted artifact claim a
+        cleaner run than actually happened.
+        """
+        if self.fault_plan is not None:
+            raise ValueError(
+                "ServingConfig with an armed fault_plan cannot be "
+                "serialized; disarm it first"
+            )
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "fault_plan"
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServingConfig":

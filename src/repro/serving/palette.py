@@ -33,11 +33,15 @@ artifact execution, not training.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
+
+from repro.serving.faults import CorruptTileError
 
 
 def _index_dtype(bound: int) -> np.dtype:
@@ -190,6 +194,7 @@ class TileCacheStats:
     misses: int = 0
     evictions: int = 0
     puts: int = 0
+    corruptions: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form for stats reports and benchmark artifacts."""
@@ -198,6 +203,7 @@ class TileCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "corruptions": self.corruptions,
         }
 
 
@@ -207,24 +213,52 @@ class TileCache:
     Shared across every served layer (keys carry the layer name), so the
     budget is global like ``worker_cache_bytes_limit``.  Thread-safe: the
     scheduler thread and any caller probing stats may race.
+
+    With ``digest_checks`` on (the default), every tile is stamped with a
+    blake2b digest at :meth:`put` and verified at :meth:`get`: a resident
+    tile whose bytes no longer match -- bit-rot, a stray write through an
+    aliased view, or the fault injector's :meth:`corrupt_one` -- is
+    dropped and surfaced as a typed
+    :class:`~repro.serving.faults.CorruptTileError` instead of silently
+    serving wrong logits.  The supervised scheduler answers it by
+    charging the layer's circuit breaker and retrying the step, which
+    re-dequantizes cleanly.
     """
 
-    def __init__(self, bytes_limit: int = 0) -> None:
+    def __init__(self, bytes_limit: int = 0, digest_checks: bool = True) -> None:
         if bytes_limit < 0:
             raise ValueError(f"bytes_limit must be >= 0, got {bytes_limit}")
         self.bytes_limit = bytes_limit
+        self.digest_checks = digest_checks
         self._lock = threading.Lock()
-        self._tiles: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._tiles: OrderedDict[tuple, tuple[np.ndarray, bytes | None]] = (
+            OrderedDict()
+        )
         self._resident_bytes = 0
         self.stats = TileCacheStats()
 
+    @staticmethod
+    def _digest(tile: np.ndarray) -> bytes:
+        return hashlib.blake2b(tile.tobytes(), digest_size=8).digest()
+
     def get(self, key: tuple) -> np.ndarray | None:
-        """The tile under ``key`` (refreshing recency), or ``None``."""
+        """The tile under ``key`` (refreshing recency), or ``None``.
+
+        Raises :class:`~repro.serving.faults.CorruptTileError` (after
+        dropping the entry) when digest checks are on and the tile's
+        bytes no longer match the digest stamped at :meth:`put`.
+        """
         with self._lock:
-            tile = self._tiles.get(key)
-            if tile is None:
+            entry = self._tiles.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None
+            tile, digest = entry
+            if digest is not None and self._digest(tile) != digest:
+                self._tiles.pop(key)
+                self._resident_bytes -= int(tile.nbytes)
+                self.stats.corruptions += 1
+                raise CorruptTileError(str(key[0]))
             self._tiles.move_to_end(key)
             self.stats.hits += 1
             return tile
@@ -238,27 +272,47 @@ class TileCache:
         nbytes = int(tile.nbytes)
         if self.bytes_limit and nbytes > self.bytes_limit:
             return
+        digest = self._digest(tile) if self.digest_checks else None
         with self._lock:
             old = self._tiles.pop(key, None)
             if old is not None:
-                self._resident_bytes -= int(old.nbytes)
-            self._tiles[key] = tile
+                self._resident_bytes -= int(old[0].nbytes)
+            self._tiles[key] = (tile, digest)
             self._resident_bytes += nbytes
             self.stats.puts += 1
             if self.bytes_limit:
                 # The just-inserted tile fits the budget (admission above),
                 # so evicting strictly-older entries always terminates.
                 while self._resident_bytes > self.bytes_limit and len(self._tiles) > 1:
-                    _, evicted = self._tiles.popitem(last=False)
+                    _, (evicted, _) = self._tiles.popitem(last=False)
                     self._resident_bytes -= int(evicted.nbytes)
                     self.stats.evictions += 1
+
+    def corrupt_one(self, prefix: tuple) -> bool:
+        """Flip one byte of the oldest resident tile under ``prefix``.
+
+        The fault injector's poisoning primitive: the stamped digest is
+        deliberately *not* refreshed, so the next :meth:`get` of that key
+        detects the corruption.  Returns whether a tile was poisoned
+        (``False`` when nothing under ``prefix`` is resident -- the spec
+        stays armed).  A no-op cache with digest checks off still
+        corrupts, modeling undetected rot; callers wanting detection must
+        keep checks on.
+        """
+        with self._lock:
+            for key, (tile, _) in self._tiles.items():
+                if key[: len(prefix)] == prefix:
+                    flat = tile.view(np.uint8).reshape(-1)
+                    flat[0] ^= 0xFF
+                    return True
+        return False
 
     def invalidate_prefix(self, prefix: tuple) -> None:
         """Drop every tile whose key starts with ``prefix`` (stale version)."""
         with self._lock:
             stale = [k for k in self._tiles if k[: len(prefix)] == prefix]
             for key in stale:
-                self._resident_bytes -= int(self._tiles.pop(key).nbytes)
+                self._resident_bytes -= int(self._tiles.pop(key)[0].nbytes)
 
     def resident_bytes(self) -> int:
         """Bytes currently held by resident tiles."""
@@ -305,12 +359,14 @@ class PaletteLinearExec:
         tile_rows: int = 32,
         cache: TileCache | None = None,
         version_token: object = None,
+        fault_hook: Callable[[str], None] | None = None,
     ) -> None:
         self.name = name
         self.layout = PaletteLayout.build(lut, indices)
         self.tile_rows = max(1, int(tile_rows))
         self.cache = cache
         self.version_token = version_token
+        self.fault_hook = fault_hook
         self.stats = PaletteExecStats()
 
     @property
@@ -328,7 +384,13 @@ class PaletteLinearExec:
 
         Resident tiles run dense gemm; misses run the palette kernel and
         (when a cache is attached) dequantize the tile for next time.
+        The optional ``fault_hook`` (the serving fault injector's
+        ``maybe_kernel_error``) runs first with this layer's name so an
+        injected :class:`~repro.serving.faults.PaletteKernelError`
+        genuinely originates inside the kernel call.
         """
+        if self.fault_hook is not None:
+            self.fault_hook(self.name)
         x = np.asarray(x, dtype=np.float32)
         out = np.empty((x.shape[0], self.layout.out_features), dtype=np.float32)
         self.stats.calls += 1

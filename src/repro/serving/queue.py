@@ -39,6 +39,21 @@ class ServerClosed(ServingError):
     """Request failed: the server shut down before completing it."""
 
 
+class StepFailed(ServingError):
+    """Request failed: its decode step could not be completed.
+
+    The typed error the supervised scheduler delivers through every
+    future of a batch whose step raised, hung past the step watchdog, or
+    exhausted its retries -- the crash boundary that keeps one bad step
+    from stranding callers until their own timeouts.  ``cause`` carries
+    the underlying failure (an exception instance, never re-raised).
+    """
+
+    def __init__(self, detail: str, cause: BaseException | None = None):
+        super().__init__(detail)
+        self.cause = cause
+
+
 _REQUEST_IDS = itertools.count()
 
 
@@ -49,6 +64,14 @@ class ServerRequest:
     ``submitted_at`` at submit, ``scheduled_at`` when the batcher admits
     the request into the running batch, ``finished_at`` on completion or
     failure.  ``deadline`` is absolute (monotonic) or ``None``.
+
+    Resolution is **idempotent**: the first :meth:`complete` or
+    :meth:`fail` wins and every later attempt is a no-op returning
+    ``False``.  The supervised scheduler relies on this -- a step
+    watchdog may fail a batch's requests while a revoked (zombie) loop
+    is still mid-step; whichever resolution lands first is the one the
+    client sees, and stats are only recorded by the caller whose
+    resolution actually took.
     """
 
     def __init__(
@@ -66,7 +89,11 @@ class ServerRequest:
         self.scheduled_at: float | None = None
         self.finished_at: float | None = None
         self.tokens_generated = 0
-        self._event = threading.Event()
+        self._lock = threading.Lock()
+        # The completion latch is itself a synchronization primitive;
+        # waiting on it under the state lock would deadlock resolution.
+        self._event = threading.Event()  # repolint: disable=RL101 Event is thread-safe; waited on outside the lock by design
+        self._resolved = False
         self._text: str | None = None
         self._error: BaseException | None = None
 
@@ -74,17 +101,35 @@ class ServerRequest:
     # Completion (scheduler side)
     # ------------------------------------------------------------------
 
-    def complete(self, text: str, now: float | None = None) -> None:
-        """Resolve the request with generated ``text``."""
-        self._text = text
-        self.finished_at = time.monotonic() if now is None else now
-        self._event.set()
+    def complete(self, text: str, now: float | None = None) -> bool:
+        """Resolve the request with generated ``text``.
 
-    def fail(self, error: BaseException, now: float | None = None) -> None:
-        """Resolve the request with ``error`` (raised from :meth:`result`)."""
-        self._error = error
-        self.finished_at = time.monotonic() if now is None else now
+        Returns whether *this* call resolved the request; ``False`` means
+        it was already resolved (the caller must not record stats or
+        ledger bytes for it again).
+        """
+        with self._lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            self._text = text
+            self.finished_at = time.monotonic() if now is None else now
         self._event.set()
+        return True
+
+    def fail(self, error: BaseException, now: float | None = None) -> bool:
+        """Resolve the request with ``error`` (raised from :meth:`result`).
+
+        Idempotent like :meth:`complete`; returns whether this call won.
+        """
+        with self._lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            self._error = error
+            self.finished_at = time.monotonic() if now is None else now
+        self._event.set()
+        return True
 
     # ------------------------------------------------------------------
     # Client surface
@@ -98,12 +143,14 @@ class ServerRequest:
     @property
     def ok(self) -> bool:
         """Whether the request resolved successfully."""
-        return self._event.is_set() and self._error is None
+        with self._lock:
+            return self._resolved and self._error is None
 
     @property
     def error(self) -> BaseException | None:
         """The failure, if the request resolved unsuccessfully."""
-        return self._error
+        with self._lock:
+            return self._error
 
     def expired(self, now: float) -> bool:
         """Whether the deadline has passed as of monotonic time ``now``."""
@@ -114,16 +161,20 @@ class ServerRequest:
 
         Raises ``TimeoutError`` if the request is still in flight after
         ``timeout`` seconds, or the failure the scheduler recorded
-        (:class:`DeadlineExceeded`, :class:`ServerClosed`, ...).
+        (:class:`DeadlineExceeded`, :class:`ServerClosed`,
+        :class:`StepFailed`, ...).
         """
         if not self._event.wait(timeout):
             raise TimeoutError(
                 f"request {self.id} still in flight after {timeout}s"
             )
-        if self._error is not None:
-            raise self._error
-        assert self._text is not None
-        return self._text
+        with self._lock:
+            error = self._error
+            text = self._text
+        if error is not None:
+            raise error
+        assert text is not None
+        return text
 
     @property
     def latency_s(self) -> float | None:

@@ -12,34 +12,72 @@ hot-tile LRU.  Per-request bytes flow into
 :meth:`PaletteServer.stats` renders everything into a
 :class:`~repro.serving.stats.StatsReport`.
 
+The scheduler is *supervised* (the serving counterpart of the
+compression engine's chaos discipline, PR 6):
+
+- **Crash boundary.**  A decode step that raises fails only that batch's
+  requests -- each future gets a typed
+  :class:`~repro.serving.queue.StepFailed` -- and the loop keeps
+  serving.  :class:`~repro.serving.faults.TransientStepError` is retried
+  in place with bounded backoff first.
+- **Per-layer circuit breaker.**  Repeated palette-kernel or tile-digest
+  failures on one layer trip exactly that layer to the dense eval path
+  (bit-identical by construction), audited in the traffic ledger under
+  :data:`~repro.serving.stats.DEGRADE_TAG`; after a probation of clean
+  steps the palette path is re-enabled.
+- **Step watchdog.**  With ``config.step_timeout_s`` set, a sidecar
+  thread revokes the loop *generation* of a step that wedges: the stuck
+  thread becomes a zombie whose late writes are discarded
+  (:class:`ServerRequest` resolution is idempotent; the loop re-checks
+  its generation after every sleep), its batch fails with
+  ``StepFailed``, and a fresh loop is respawned under a bounded budget.
+- **Lifecycle.**  :meth:`stop` joins with a deadline and escalates
+  (warn, zombify, fail in-flight) instead of deadlocking on a hung
+  step; ``stop(drain=True)`` closes admission and finishes in-flight
+  work first; :meth:`health` snapshots loop liveness, queue depth, and
+  breaker states, and :meth:`submit` consults it to shed load.
+
 Byte accounting convention: prompt and completion text bytes are
 recorded per request (``serve:req<id>`` tags, endpoints
 ``client <-> server``); weight bytes *read per decode step* are
 recorded under ``serve:weights`` with ``dst="flops"`` -- palette-path
 layers charge their deployable layout bytes (lut + packed indices),
-dense-path layers their 16-bit weight bytes, so compressed and
-uncompressed scenarios are comparable at a glance.
+dense-path layers (including breaker-tripped ones) their 16-bit weight
+bytes, so compressed and uncompressed scenarios are comparable at a
+glance.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
+from dataclasses import dataclass, field
 
 from repro.core.compressor import ClusteredLinear
+from repro.core.faults import RobustnessWarning, WatchdogTimeout
 from repro.llm.tokenizer import WordTokenizer
 from repro.memory.traffic import TrafficLedger, global_ledger
 from repro.nn import Transformer
 from repro.serving.batcher import ContinuousBatcher, SequenceState
+from repro.serving.breaker import BreakerBoard, BreakerSnapshot
 from repro.serving.config import ServingConfig, get_default_serving_config
+from repro.serving.faults import (
+    CorruptTileError,
+    PaletteKernelError,
+    ServingFaultInjector,
+    TransientStepError,
+)
 from repro.serving.palette import TileCache
 from repro.serving.queue import (
     AdmissionError,
     RequestQueue,
     ServerClosed,
     ServerRequest,
+    StepFailed,
 )
 from repro.serving.stats import (
+    DEGRADE_TAG,
     RequestRecord,
     ServerStats,
     StatsReport,
@@ -49,6 +87,212 @@ from repro.tensor.device import Device
 
 WEIGHT_TAG = "serve:weights"
 """Ledger tag of per-step weight-read records (``dst="flops"``)."""
+
+
+class _StaleGeneration(Exception):
+    """Internal: this scheduler loop's generation was revoked.
+
+    Raised by :meth:`LoopSupervisor.check` inside a zombie loop (one the
+    watchdog killed while it was wedged mid-step).  The loop unwinds
+    without touching the server again; a fresh generation owns it now.
+    """
+
+
+@dataclass(frozen=True)
+class ServerHealth:
+    """Point-in-time server health (the :meth:`PaletteServer.health` shape).
+
+    ``accepting`` is the admission verdict: the server is running, not
+    draining, and its loop is not dead.  ``stalled`` means the current
+    decode step has already overrun ``step_timeout_s`` but the watchdog
+    has not yet revoked the loop -- :meth:`PaletteServer.submit` sheds
+    load during that window instead of queueing behind a wedge.
+    """
+
+    running: bool
+    accepting: bool
+    draining: bool
+    dead: bool
+    stalled: bool
+    generation: int
+    loop_alive: bool
+    respawns: int
+    queue_depth: int
+    active_requests: int
+    last_step_age_s: float | None
+    step_in_flight_s: float | None
+    breakers: dict[str, BreakerSnapshot] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (breakers flattened to dicts)."""
+        payload = {
+            "running": self.running,
+            "accepting": self.accepting,
+            "draining": self.draining,
+            "dead": self.dead,
+            "stalled": self.stalled,
+            "generation": self.generation,
+            "loop_alive": self.loop_alive,
+            "respawns": self.respawns,
+            "queue_depth": self.queue_depth,
+            "active_requests": self.active_requests,
+            "last_step_age_s": self.last_step_age_s,
+            "step_in_flight_s": self.step_in_flight_s,
+            "breakers": {
+                name: snap.to_dict() for name, snap in self.breakers.items()
+            },
+        }
+        return payload
+
+
+class LoopSupervisor:
+    """Cross-thread source of truth for the scheduler loop's lifecycle.
+
+    Tracks the loop *generation* (bumped on every watchdog revocation),
+    whether a loop is alive, when the in-flight step started, and the
+    drain/dead flags.  The scheduler thread calls :meth:`check` after
+    every sleep and before touching shared state; once its generation is
+    stale the call raises :class:`_StaleGeneration` and the zombie
+    unwinds.  The watchdog and :meth:`PaletteServer.stop` are the only
+    writers besides the loop itself.  ``_``-prefixed helpers expect the
+    caller to hold the lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._loop_alive = False
+        self._respawns = 0
+        self._draining = False
+        self._dead = False
+        self._step_started_at: float | None = None
+        self._last_step_at: float | None = None
+        self._batcher: ContinuousBatcher | None = None
+
+    # -- loop side ------------------------------------------------------
+
+    def begin_generation(
+        self, batcher: ContinuousBatcher, count_respawn: bool = False
+    ) -> int:
+        """Register a new loop generation (about to start); returns it."""
+        with self._lock:
+            self._generation += 1
+            self._loop_alive = True
+            self._step_started_at = None
+            self._batcher = batcher
+            if count_respawn:
+                self._respawns += 1
+            return self._generation
+
+    def check(self, generation: int) -> None:
+        """Raise :class:`_StaleGeneration` unless ``generation`` is current."""
+        with self._lock:
+            if generation != self._generation:
+                raise _StaleGeneration(
+                    f"loop generation {generation} was revoked "
+                    f"(current is {self._generation})"
+                )
+
+    def note_step_start(self, generation: int, now: float) -> None:
+        """Stamp the in-flight step's start (the watchdog's deadline base)."""
+        with self._lock:
+            if generation == self._generation:
+                self._step_started_at = now
+
+    def note_step_end(self, generation: int, now: float) -> None:
+        """Clear the in-flight stamp; remember when a step last finished."""
+        with self._lock:
+            if generation == self._generation:
+                self._step_started_at = None
+                self._last_step_at = now
+
+    def note_loop_exit(self, generation: int) -> None:
+        """The loop thread is returning (cleanly or revoked)."""
+        with self._lock:
+            if generation == self._generation:
+                self._loop_alive = False
+                self._step_started_at = None
+
+    # -- watchdog / stop side -------------------------------------------
+
+    def revoke_hung(
+        self, timeout_s: float, now: float
+    ) -> "tuple[int, ContinuousBatcher | None] | None":
+        """Revoke the current generation if its step overran ``timeout_s``.
+
+        Returns ``(revoked_generation, its_batcher)`` when a hang was
+        declared, else ``None``.  The revoked loop's next
+        :meth:`check` raises and it unwinds as a zombie.
+        """
+        with self._lock:
+            if not self._loop_alive or self._step_started_at is None:
+                return None
+            if now - self._step_started_at <= timeout_s:
+                return None
+            revoked = self._generation
+            batcher = self._batcher
+            self._generation += 1
+            self._loop_alive = False
+            self._step_started_at = None
+            self._batcher = None
+            return revoked, batcher
+
+    def revoke_current(self) -> None:
+        """Unconditionally zombify whatever loop is running (stop escalation)."""
+        with self._lock:
+            self._generation += 1
+            self._loop_alive = False
+            self._step_started_at = None
+            self._batcher = None
+
+    def start_draining(self) -> None:
+        """Close admission; the loop exits once queue and batch are empty."""
+        with self._lock:
+            self._draining = True
+
+    def mark_dead(self) -> None:
+        """The respawn budget is spent; no loop will serve again."""
+        with self._lock:
+            self._dead = True
+            self._loop_alive = False
+
+    # -- observers ------------------------------------------------------
+
+    def is_draining(self) -> bool:
+        """Whether admission is closed pending a graceful shutdown."""
+        with self._lock:
+            return self._draining
+
+    def is_dead(self) -> bool:
+        """Whether the respawn budget is spent (no loop will serve again)."""
+        with self._lock:
+            return self._dead
+
+    def respawns_used(self) -> int:
+        """Watchdog respawns consumed so far."""
+        with self._lock:
+            return self._respawns
+
+    def snapshot(self, now: float) -> dict:
+        """Raw liveness numbers for :meth:`PaletteServer.health`."""
+        with self._lock:
+            return {
+                "generation": self._generation,
+                "loop_alive": self._loop_alive,
+                "respawns": self._respawns,
+                "draining": self._draining,
+                "dead": self._dead,
+                "last_step_age_s": (
+                    None
+                    if self._last_step_at is None
+                    else now - self._last_step_at
+                ),
+                "step_in_flight_s": (
+                    None
+                    if self._step_started_at is None
+                    else now - self._step_started_at
+                ),
+            }
 
 
 class PaletteServer:
@@ -72,28 +316,38 @@ class PaletteServer:
         self.model = model
         self.tokenizer = tokenizer
         self.config = config or get_default_serving_config()
+        self.device = device
         self.ledger = ledger if ledger is not None else global_ledger()
         self.stats_acc = ServerStats()
         self.queue = RequestQueue(self.config.max_queue_depth)
-        self.tile_cache = TileCache(self.config.tile_cache_bytes_limit)
-        self.batcher = ContinuousBatcher(
-            model,
-            tokenizer,
-            self.config,
-            device=device,
-            stats=self.stats_acc,
-            on_retire=self._on_retire,
+        self.tile_cache = TileCache(
+            self.config.tile_cache_bytes_limit,
+            digest_checks=self.config.tile_digest_checks,
         )
+        self.supervisor = LoopSupervisor()
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            probation_steps=self.config.breaker_probation_steps,
+        )
+        self.fault_injector = ServingFaultInjector.from_plan(
+            self.config.fault_plan
+        )
+        self.batcher = self._make_batcher()
         self._palette_layers: list[tuple[str, ClusteredLinear]] = []
         self._thread: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
         self._stop = threading.Event()
         self._started_at: float | None = None
         self._stopped_at: float | None = None
         model.eval()
         if self.config.eval_path == "palette":
             self._install_palette()
-        # Dense-path clustered layers charge their full 16-bit weight per
-        # step; the total is fixed, so compute it once.
+        if self.fault_injector is not None:
+            self.fault_injector.arm([name for name, _ in self._palette_layers])
+        # Clustered layers on the dense eval path *from construction*
+        # charge their full 16-bit weight per step; the total is fixed,
+        # so compute it once.  Breaker-tripped palette layers are charged
+        # dynamically in _record_step_weights (they flip back).
         self._dense_weight_bytes = sum(
             2 * module.inner.weight.numel
             for _, module in model.named_modules()
@@ -105,20 +359,45 @@ class PaletteServer:
     # Palette installation
     # ------------------------------------------------------------------
 
+    def _make_batcher(self) -> ContinuousBatcher:
+        return ContinuousBatcher(
+            self.model,
+            self.tokenizer,
+            self.config,
+            device=self.device,
+            stats=self.stats_acc,
+            on_retire=self._on_retire,
+        )
+
+    def _fault_hook(self):
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.maybe_kernel_error
+
+    def _enable_layer_palette(self, name: str, module: ClusteredLinear) -> None:
+        module.enable_palette_eval(
+            name=name,
+            tile_rows=self.config.palette_tile_rows,
+            cache=self.tile_cache,
+            fault_hook=self._fault_hook(),
+        )
+
     def _install_palette(self) -> None:
         for name, module in self.model.named_modules():
             if isinstance(module, ClusteredLinear):
-                module.enable_palette_eval(
-                    name=name,
-                    tile_rows=self.config.palette_tile_rows,
-                    cache=self.tile_cache,
-                )
+                self._enable_layer_palette(name, module)
                 self._palette_layers.append((name, module))
 
     def _uninstall_palette(self) -> None:
         for _, module in self._palette_layers:
             module.disable_palette_eval()
         self._palette_layers = []
+
+    def _module_for(self, layer: str) -> ClusteredLinear | None:
+        for name, module in self._palette_layers:
+            if name == layer:
+                return module
+        return None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -127,7 +406,11 @@ class PaletteServer:
     @property
     def running(self) -> bool:
         """Whether the scheduler thread is alive and accepting work."""
-        return self._thread is not None and self._thread.is_alive()
+        return (
+            self._thread is not None
+            and self._thread.is_alive()
+            and not self.supervisor.is_dead()
+        )
 
     def start(self) -> "PaletteServer":
         """Start the scheduler thread (idempotent)."""
@@ -136,25 +419,76 @@ class PaletteServer:
         self._stop.clear()
         self._started_at = time.monotonic()
         self.stats_acc.started_at = self._started_at
-        self._thread = threading.Thread(
-            target=self._scheduler_loop, name="palette-server", daemon=True
-        )
-        self._thread.start()
+        self._spawn_loop(count_respawn=False)
+        if self.config.step_timeout_s is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="palette-server-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
         return self
 
-    def stop(self) -> None:
-        """Stop the scheduler; fail queued and in-flight requests."""
+    def _spawn_loop(self, count_respawn: bool) -> None:
+        batcher = self._make_batcher()
+        self.batcher = batcher
+        generation = self.supervisor.begin_generation(
+            batcher, count_respawn=count_respawn
+        )
+        thread = threading.Thread(
+            target=self._scheduler_loop,
+            args=(generation, batcher),
+            name=f"palette-server-gen{generation}",
+            daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+
+    def stop(self, drain: bool = False) -> None:
+        """Stop the scheduler; fail queued and in-flight requests.
+
+        With ``drain=True`` admission closes first and the loop is given
+        ``config.drain_timeout_s`` to finish queued and in-flight work
+        before the hard stop.  The hard stop joins the scheduler thread
+        with ``config.join_timeout_s`` and *escalates* on overrun --
+        emits a :class:`RobustnessWarning`, revokes the loop generation
+        (zombifying the stuck thread), and fails whatever is still in
+        flight -- instead of deadlocking the caller.
+        """
         if self._thread is None:
             return
+        if drain and not self.supervisor.is_dead():
+            self.supervisor.start_draining()
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while time.monotonic() < deadline:
+                thread = self._thread
+                if thread is None or not thread.is_alive():
+                    break
+                thread.join(timeout=0.01)
         self._stop.set()
-        self._thread.join()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=self.config.join_timeout_s)
+            if thread.is_alive():
+                warnings.warn(
+                    "scheduler thread did not exit within join_timeout_s="
+                    f"{self.config.join_timeout_s}; revoking its generation "
+                    "and failing in-flight requests",
+                    RobustnessWarning,
+                    stacklevel=2,
+                )
+                self.supervisor.revoke_current()
         self._thread = None
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.join(timeout=self.config.join_timeout_s)
+            self._watchdog = None
         self._stopped_at = time.monotonic()
         self.stats_acc.stopped_at = self._stopped_at
         closed = ServerClosed("server stopped before completing this request")
         for request in self.queue.drain(closed):
             self.stats_acc.note_finished(RequestRecord.from_request(request, 0))
-        self.batcher.abort_all(closed)
+        self._fail_active(self.batcher, closed)
 
     def close(self) -> None:
         """Stop the server and restore the dense eval path."""
@@ -171,6 +505,40 @@ class PaletteServer:
     # Client surface
     # ------------------------------------------------------------------
 
+    def health(self) -> ServerHealth:
+        """Liveness snapshot: loop generation, queue depth, breakers.
+
+        Cheap enough to call per-submit; :meth:`submit` uses it to shed
+        load (``stalled``) and refuse dead or draining servers.
+        """
+        now = time.monotonic()
+        snap = self.supervisor.snapshot(now)
+        thread = self._thread
+        running = (
+            thread is not None and thread.is_alive() and not snap["dead"]
+        )
+        in_flight = snap["step_in_flight_s"]
+        stalled = (
+            self.config.step_timeout_s is not None
+            and in_flight is not None
+            and in_flight > self.config.step_timeout_s
+        )
+        return ServerHealth(
+            running=running,
+            accepting=running and not snap["draining"] and not snap["dead"],
+            draining=snap["draining"],
+            dead=snap["dead"],
+            stalled=stalled,
+            generation=snap["generation"],
+            loop_alive=snap["loop_alive"],
+            respawns=snap["respawns"],
+            queue_depth=len(self.queue),
+            active_requests=len(self.batcher.active),
+            last_step_age_s=snap["last_step_age_s"],
+            step_in_flight_s=in_flight,
+            breakers=self.breakers.states(),
+        )
+
     def submit(
         self,
         prompt: str,
@@ -180,12 +548,29 @@ class PaletteServer:
         """Enqueue ``prompt``; returns the request future immediately.
 
         Raises :class:`AdmissionError` when the queue is at
-        ``max_queue_depth`` and :class:`ServerClosed` when the server is
-        not running.  ``deadline_s`` (or the config default) is measured
-        from *submission* and covers queue wait plus decoding.
+        ``max_queue_depth`` *or* the current decode step has overrun the
+        watchdog deadline (shedding load behind a wedge), and
+        :class:`ServerClosed` when the server is not running, draining,
+        or its scheduler loop is dead.  ``deadline_s`` (or the config
+        default) is measured from *submission* and covers queue wait
+        plus decoding.
         """
-        if not self.running:
+        health = self.health()
+        if not health.running:
             raise ServerClosed("submit() on a server that is not running")
+        if health.dead:
+            raise ServerClosed(
+                "submit() on a server whose scheduler loop is dead "
+                "(respawn budget exhausted)"
+            )
+        if health.draining:
+            raise ServerClosed("submit() on a draining server")
+        if health.stalled:
+            self.stats_acc.note_rejected_admission()
+            raise AdmissionError(
+                "decode step overran step_timeout_s and the loop is not yet "
+                "respawned; shedding load"
+            )
         now = time.monotonic()
         budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
         request = ServerRequest(
@@ -230,29 +615,258 @@ class PaletteServer:
         return self.stats_acc.report(wall, ledger=self.ledger)
 
     # ------------------------------------------------------------------
-    # Scheduler
+    # Scheduler (one thread per loop generation)
     # ------------------------------------------------------------------
 
-    def _scheduler_loop(self) -> None:
+    def _scheduler_loop(
+        self, generation: int, batcher: ContinuousBatcher
+    ) -> None:
+        """One loop generation.  ``batcher`` is generation-local: a
+        revoked (zombie) loop must never touch ``self.batcher``, which a
+        fresh generation may own by the time the zombie wakes up.
+        """
+        try:
+            while not self._stop.is_set():
+                self.supervisor.check(generation)
+                now = time.monotonic()
+                free = batcher.free_slots
+                if free > 0:
+                    admitted, expired = self.queue.take(free, now)
+                    if expired:
+                        self.stats_acc.note_rejected_deadline(len(expired))
+                        for request in expired:
+                            self.stats_acc.note_finished(
+                                RequestRecord.from_request(request, 0)
+                            )
+                    for request in admitted:
+                        self._admit_one(batcher, request, now)
+                if batcher.active:
+                    self._run_step(generation, batcher)
+                elif self.supervisor.is_draining() and len(self.queue) == 0:
+                    return  # drained: nothing in flight, nothing queued
+                else:
+                    self.queue.wait_nonempty(self.config.poll_interval_s)
+        except _StaleGeneration:
+            return  # revoked by the watchdog; a fresh loop owns the server
+        finally:
+            self.supervisor.note_loop_exit(generation)
+
+    def _admit_one(
+        self,
+        batcher: ContinuousBatcher,
+        request: ServerRequest,
+        now: float,
+    ) -> None:
+        """Admit one request; a bad prompt fails only that request."""
+        try:
+            batcher.admit(request, now)
+        except Exception as exc:  # noqa: BLE001 - crash boundary
+            if request.fail(
+                StepFailed(f"admission failed: {exc}", cause=exc), now=now
+            ):
+                self.stats_acc.note_finished(
+                    RequestRecord.from_request(request, 0)
+                )
+
+    def _run_step(self, generation: int, batcher: ContinuousBatcher) -> None:
+        """One supervised decode step: the crash boundary.
+
+        Exception taxonomy (see :mod:`repro.serving.faults`):
+        transient errors retry in place with backoff up to
+        ``max_step_retries``; palette-kernel and corrupt-tile errors
+        charge the layer's breaker and retry immediately (structurally
+        bounded -- at the threshold the layer trips to dense and the
+        failing path stops executing; a corrupt tile was already dropped
+        by the digest check); anything else fails the batch with
+        :class:`StepFailed`.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            injector.begin_step()
+        self.supervisor.note_step_start(generation, time.monotonic())
+        transient_attempts = 0
+        try:
+            while True:
+                self.supervisor.check(generation)
+                try:
+                    self._apply_step_faults(generation, injector)
+                    before = self._weight_block_snapshot()
+                    batcher.step(time.monotonic())
+                    # A zombie waking from a genuine in-step hang must not
+                    # ledger bytes or advance breaker probation.
+                    self.supervisor.check(generation)
+                    self._record_step_weights(before)
+                    self._note_clean_step()
+                    return
+                except _StaleGeneration:
+                    raise
+                except TransientStepError as exc:
+                    transient_attempts += 1
+                    if transient_attempts > self.config.max_step_retries:
+                        self._fail_batch(batcher, exc)
+                        return
+                    self.stats_acc.note_step_retry()
+                    self._sleep_checked(
+                        generation,
+                        transient_attempts * self.config.step_retry_backoff_s,
+                    )
+                except (PaletteKernelError, CorruptTileError) as exc:
+                    self.stats_acc.note_step_retry()
+                    self._charge_breaker(exc.layer, exc)
+                except Exception as exc:  # noqa: BLE001 - crash boundary
+                    self._fail_batch(batcher, exc)
+                    return
+        finally:
+            self.supervisor.note_step_end(generation, time.monotonic())
+
+    def _apply_step_faults(
+        self, generation: int, injector: ServingFaultInjector | None
+    ) -> None:
+        """Fire armed step-scoped faults for this step (and its retries)."""
+        if injector is None:
+            return
+        injector.maybe_corrupt_tiles(self.tile_cache)
+        seconds = injector.step_sleep()
+        if seconds > 0:
+            self._sleep_checked(generation, seconds)
+        injector.maybe_transient()
+
+    def _sleep_checked(self, generation: int, seconds: float) -> None:
+        """Sleep in small slices, aborting the moment this loop is revoked.
+
+        This is how a watchdog "kills" a hung step: Python threads
+        cannot be interrupted, so the revoked loop discovers its own
+        death at the next slice boundary and unwinds as a zombie.
+        """
+        deadline = time.monotonic() + seconds
+        while True:
+            self.supervisor.check(generation)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.01))
+
+    def _fail_batch(
+        self, batcher: ContinuousBatcher, cause: BaseException
+    ) -> None:
+        """Crash boundary: fail this batch's futures, keep the loop alive."""
+        self.stats_acc.note_step_failure()
+        batcher.abort_all(
+            StepFailed(f"decode step failed: {cause}", cause=cause)
+        )
+
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+
+    def _charge_breaker(self, layer: str, cause: BaseException) -> None:
+        action = self.breakers.note_failure(layer)
+        if action in ("trip", "retrip"):
+            self._trip_layer(layer, action, cause)
+
+    def _trip_layer(
+        self, layer: str, action: str, cause: BaseException
+    ) -> None:
+        """Flip ``layer`` to the dense eval path (bit-identical output)."""
+        module = self._module_for(layer)
+        if module is None:
+            return
+        dense_bytes = 2 * module.inner.weight.numel
+        module.disable_palette_eval()
+        self.stats_acc.note_breaker_trip()
+        self.ledger.record(
+            "server",
+            "audit",
+            dense_bytes,
+            tag=DEGRADE_TAG,
+        )
+        warnings.warn(
+            f"palette path for layer {layer!r} tripped to dense "
+            f"({action}: {type(cause).__name__}); output is bit-identical, "
+            "bandwidth is not",
+            RobustnessWarning,
+            stacklevel=3,
+        )
+
+    def _note_clean_step(self) -> None:
+        """Breaker bookkeeping after a fault-free step (re-promotions)."""
+        for layer in self.breakers.note_clean_step():
+            module = self._module_for(layer)
+            if module is None:
+                continue
+            self._enable_layer_palette(layer, module)
+            self.stats_acc.note_breaker_repromotion()
+            self.ledger.record("server", "audit", 0, tag=DEGRADE_TAG)
+
+    # ------------------------------------------------------------------
+    # Watchdog (sidecar thread)
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        timeout = self.config.step_timeout_s
+        assert timeout is not None
+        interval = max(0.002, min(timeout / 4, 0.05))
         while not self._stop.is_set():
-            now = time.monotonic()
-            free = self.batcher.free_slots
-            if free > 0:
-                admitted, expired = self.queue.take(free, now)
-                if expired:
-                    self.stats_acc.note_rejected_deadline(len(expired))
-                    for request in expired:
-                        self.stats_acc.note_finished(
-                            RequestRecord.from_request(request, 0)
-                        )
-                for request in admitted:
-                    self.batcher.admit(request, now)
-            if self.batcher.active:
-                before = self._weight_block_snapshot()
-                self.batcher.step(time.monotonic())
-                self._record_step_weights(before)
-            else:
-                self.queue.wait_nonempty(self.config.poll_interval_s)
+            hung = self.supervisor.revoke_hung(timeout, time.monotonic())
+            if hung is not None:
+                _, batcher = hung
+                self._handle_hang(batcher)
+            self._stop.wait(interval)
+
+    def _handle_hang(self, batcher: ContinuousBatcher | None) -> None:
+        """A step overran its deadline: fail its batch, respawn or die."""
+        self.stats_acc.note_watchdog_kill()
+        error = StepFailed(
+            "decode step exceeded "
+            f"step_timeout_s={self.config.step_timeout_s}; loop revoked",
+            cause=WatchdogTimeout("serving step watchdog fired"),
+        )
+        if (
+            self._stop.is_set()
+            or self.supervisor.respawns_used() >= self.config.max_loop_respawns
+        ):
+            self.supervisor.mark_dead()
+            if batcher is not None:
+                self._fail_active(batcher, error)
+            closed = ServerClosed(
+                "scheduler loop dead: watchdog respawn budget exhausted"
+            )
+            for request in self.queue.drain(closed):
+                self.stats_acc.note_finished(
+                    RequestRecord.from_request(request, 0)
+                )
+            return
+        self.stats_acc.note_loop_respawn()
+        warnings.warn(
+            "scheduler loop revoked by the step watchdog; respawning "
+            f"({self.supervisor.respawns_used() + 1}/"
+            f"{self.config.max_loop_respawns})",
+            RobustnessWarning,
+            stacklevel=2,
+        )
+        self._spawn_loop(count_respawn=True)
+        # Fail the orphaned futures only after the fresh loop is
+        # installed: a client that wakes on StepFailed and immediately
+        # resubmits must never observe the gap between the zombie
+        # exiting and the respawn (running would read False).
+        if batcher is not None:
+            self._fail_active(batcher, error)
+
+    def _fail_active(
+        self, batcher: ContinuousBatcher, error: BaseException
+    ) -> None:
+        """Fail a batcher's in-flight futures without mutating its state.
+
+        Used from *other* threads (watchdog, :meth:`stop` escalation)
+        while the owning loop may still be wedged mid-step: resolution
+        is idempotent, so whichever side lands first wins, and the
+        zombie's late writes go nowhere.
+        """
+        for seq in list(batcher.active):
+            if seq.request.fail(error):
+                self.stats_acc.note_finished(
+                    RequestRecord.from_request(seq.request, seq.prompt_tokens)
+                )
 
     # ------------------------------------------------------------------
     # Byte accounting
@@ -287,11 +901,15 @@ class PaletteServer:
 
         Palette blocks charge their share of the deployable layout (lut +
         packed indices); dense blocks charge the dequantized tile bytes.
-        Layers still on the dense eval path (``eval_path == "dense"``)
-        charge their full 16-bit weight each step.
+        Layers on the dense eval path -- from construction or because
+        their breaker tripped -- charge their full 16-bit weight each
+        step.
         """
         nbytes = 0
         for name, module in self._palette_layers:
+            if module.eval_path == "dense":  # breaker-tripped
+                nbytes += 2 * module.inner.weight.numel
+                continue
             exec_ = module.palette_exec
             if exec_ is None:
                 continue

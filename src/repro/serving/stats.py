@@ -32,6 +32,14 @@ def request_tag(request_id: int) -> str:
     return f"{SERVE_TAG_PREFIX}req{request_id}"
 
 
+DEGRADE_TAG = f"{SERVE_TAG_PREFIX}degrade"
+"""Ledger tag for circuit-breaker events (palette→dense trips and
+re-promotions).  Records under this tag are an audit trail, not data
+movement, so :meth:`ServerStats.report` excludes them from both the
+weight and activation byte tallies and surfaces them separately as
+``degrade_bytes``."""
+
+
 def percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending-sorted, non-empty list."""
     if not sorted_values:
@@ -96,6 +104,13 @@ class StatsReport:
     mean_batch_occupancy: float
     weight_bytes_read: int
     activation_bytes: int
+    step_failures: int = 0
+    step_retries: int = 0
+    watchdog_kills: int = 0
+    loop_respawns: int = 0
+    breaker_trips: int = 0
+    breaker_repromotions: int = 0
+    degrade_bytes: int = 0
 
     def to_json_dict(self) -> dict:
         """A JSON-serializable dict (the BENCH_serving row shape)."""
@@ -114,6 +129,12 @@ class ServerStats:
         self.aborted_deadline = 0
         self.decode_steps = 0
         self.decoded_rows = 0
+        self.step_failures = 0
+        self.step_retries = 0
+        self.watchdog_kills = 0
+        self.loop_respawns = 0
+        self.breaker_trips = 0
+        self.breaker_repromotions = 0
         self.started_at: float | None = None
         self.stopped_at: float | None = None
 
@@ -143,6 +164,36 @@ class ServerStats:
             self.decode_steps += 1
             self.decoded_rows += batch_rows
 
+    def note_step_failure(self) -> None:
+        """Count a decode step that failed its whole batch (crash boundary)."""
+        with self._lock:
+            self.step_failures += 1
+
+    def note_step_retry(self, n: int = 1) -> None:
+        """Count transient-step retries taken before a step succeeded."""
+        with self._lock:
+            self.step_retries += n
+
+    def note_watchdog_kill(self) -> None:
+        """Count a scheduler loop killed by the step watchdog (hang)."""
+        with self._lock:
+            self.watchdog_kills += 1
+
+    def note_loop_respawn(self) -> None:
+        """Count a fresh scheduler loop spawned after a kill."""
+        with self._lock:
+            self.loop_respawns += 1
+
+    def note_breaker_trip(self) -> None:
+        """Count a per-layer circuit breaker tripping palette to dense."""
+        with self._lock:
+            self.breaker_trips += 1
+
+    def note_breaker_repromotion(self) -> None:
+        """Count a tripped layer re-promoted to the palette path."""
+        with self._lock:
+            self.breaker_repromotions += 1
+
     def note_finished(self, record: RequestRecord) -> None:
         """Record a resolved request (completed or failed)."""
         with self._lock:
@@ -164,7 +215,9 @@ class ServerStats:
         ``wall_s`` is the measurement window (the caller owns the clock);
         ``ledger`` supplies byte totals from ``tag_prefix``-tagged
         transfers -- weight reads are ``dst="flops"`` records, activation
-        traffic everything else.
+        traffic everything else.  :data:`DEGRADE_TAG` records are an
+        audit trail of breaker events, not data movement: they are
+        excluded from both tallies and summed into ``degrade_bytes``.
         """
         with self._lock:
             records = list(self._records)
@@ -174,6 +227,12 @@ class ServerStats:
             aborted_deadline = self.aborted_deadline
             decode_steps = self.decode_steps
             decoded_rows = self.decoded_rows
+            step_failures = self.step_failures
+            step_retries = self.step_retries
+            watchdog_kills = self.watchdog_kills
+            loop_respawns = self.loop_respawns
+            breaker_trips = self.breaker_trips
+            breaker_repromotions = self.breaker_repromotions
         ok_records = [r for r in records if r.ok]
         failed_other = sum(
             1
@@ -188,11 +247,14 @@ class ServerStats:
         wall = max(wall_s, 1e-9)
         weight_bytes = 0
         activation_bytes = 0
+        degrade_bytes = 0
         if ledger is not None:
             for transfer in ledger.transfers():
                 if not transfer.tag.startswith(tag_prefix):
                     continue
-                if transfer.dst == "flops":
+                if transfer.tag == DEGRADE_TAG:
+                    degrade_bytes += transfer.nbytes
+                elif transfer.dst == "flops":
                     weight_bytes += transfer.nbytes
                 else:
                     activation_bytes += transfer.nbytes
@@ -215,4 +277,11 @@ class ServerStats:
             mean_batch_occupancy=decoded_rows / decode_steps if decode_steps else 0.0,
             weight_bytes_read=weight_bytes,
             activation_bytes=activation_bytes,
+            step_failures=step_failures,
+            step_retries=step_retries,
+            watchdog_kills=watchdog_kills,
+            loop_respawns=loop_respawns,
+            breaker_trips=breaker_trips,
+            breaker_repromotions=breaker_repromotions,
+            degrade_bytes=degrade_bytes,
         )

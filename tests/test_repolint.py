@@ -389,6 +389,68 @@ class TestResourceLifecycle:
         assert live == []
 
 
+class TestJoinTimeout:
+    SERVING_PATH = "src/repro/serving/example.py"
+
+    HUNG_JOIN = """\
+        class Server:
+            def stop(self):
+                self._thread.join()
+        """
+
+    def test_timeoutless_join_in_serving_is_rl402(self):
+        live, _, _ = lint(self.HUNG_JOIN, path=self.SERVING_PATH)
+        assert ids_and_lines(live) == [("RL402", 3)]
+
+    def test_join_with_timeout_is_clean(self):
+        live, _, _ = lint(
+            """\
+            class Server:
+                def stop(self):
+                    self._thread.join(timeout=5.0)
+            """,
+            path=self.SERVING_PATH,
+        )
+        assert live == []
+
+    def test_join_with_positional_deadline_is_clean(self):
+        live, _, _ = lint(
+            """\
+            class Server:
+                def stop(self):
+                    self._thread.join(5.0)
+            """,
+            path=self.SERVING_PATH,
+        )
+        assert live == []
+
+    def test_str_join_is_out_of_scope(self):
+        live, _, _ = lint(
+            """\
+            def render(parts):
+                return " ".join(parts)
+            """,
+            path=self.SERVING_PATH,
+        )
+        assert live == []
+
+    def test_outside_serving_is_out_of_scope(self):
+        live, _, _ = lint(self.HUNG_JOIN, path="src/repro/core/example.py")
+        assert live == []
+
+    def test_suppressed_with_reason(self):
+        live, suppressed, _ = lint(
+            """\
+            class Server:
+                def stop(self):
+                    self._thread.join()  # repolint: disable=RL402 scheduler exits on _stop; bounded by test timeout
+            """,
+            path=self.SERVING_PATH,
+        )
+        assert live == []
+        assert suppressed == 1
+
+
 class TestSuppressions:
     def test_same_line_disable_suppresses(self):
         live, suppressed, meta = lint(

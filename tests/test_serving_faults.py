@@ -1,0 +1,827 @@
+"""Chaos-hardened serving: supervisor, breaker, drain, fault injection.
+
+The load-bearing guarantees under test:
+
+- a decode step that raises fails only that batch's requests, with a
+  typed :class:`StepFailed` delivered *promptly* through the future --
+  never a stranded ``result()`` (regression: on the seed, an exception
+  escaping a step killed the scheduler thread silently);
+- ``stop()`` terminates within its join deadline and escalates on a hung
+  step instead of deadlocking (regression: the seed joined forever);
+- every injected fault -- kernel error, corrupt tile, hang, delay,
+  transient -- is recovered from with *bit-identical* completed tokens
+  and an audit trail in the fault log;
+- the per-layer circuit breaker trips exactly the failing layer to the
+  dense path and re-promotes it after probation;
+- ``stop(drain=True)`` finishes in-flight work; a dead loop refuses
+  admission; ``ServingConfig`` round-trips but refuses to serialize an
+  armed fault plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.core import DKMConfig, ModelCompressor
+from repro.core.faults import FaultSpec, RobustnessWarning
+from repro.llm import MICRO, build_model, generate
+from repro.memory.traffic import TrafficLedger
+from repro.serving import (
+    AdmissionError,
+    BreakerBoard,
+    CorruptTileError,
+    PaletteKernelError,
+    PaletteServer,
+    ServerClosed,
+    ServerRequest,
+    ServingConfig,
+    ServingFaultInjector,
+    ServingFaultPlan,
+    ServingFaultSpec,
+    StepFailed,
+    TileCache,
+    TransientStepError,
+    get_default_serving_config,
+)
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
+
+MAX_NEW = 5
+
+PROMPTS = [
+    "alice lives in",
+    "the capital of",
+    "bob",
+    "carol works as a",
+]
+
+
+@pytest.fixture(scope="module")
+def served_model(tokenizer, trained_state):
+    """A trained, compressed MICRO model shared by this module's tests.
+
+    Tests must not mutate weights; toggling the palette path is fine
+    (every ``PaletteServer.close`` restores dense).
+    """
+    model = build_model(MICRO, vocab_size=tokenizer.vocab_size, seed=0)
+    model.to(rt.GPU)
+    for name, param in model.state_dict().items():
+        param.copy_(trained_state[name])
+    ModelCompressor(DKMConfig(bits=4)).compress(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def expected_texts(served_model, tokenizer):
+    """Undisturbed greedy completions (dense path) -- the identity oracle."""
+    return {
+        p: generate(served_model, tokenizer, p, max_new_tokens=MAX_NEW)
+        for p in PROMPTS
+    }
+
+
+def _config(**overrides) -> ServingConfig:
+    defaults = dict(max_new_tokens=MAX_NEW, poll_interval_s=0.002)
+    defaults.update(overrides)
+    return get_default_serving_config(**defaults)
+
+
+def _serve_all(server, prompts=PROMPTS, timeout=30.0):
+    requests = [server.submit(p) for p in prompts]
+    return [r.result(timeout=timeout) for r in requests]
+
+
+class TestServingFaultPlanSpec:
+    def test_valid_kinds_accepted(self):
+        for kind in ("kernel_error", "corrupt_tile", "hang_step",
+                     "delay_step", "transient_step"):
+            spec = ServingFaultSpec(kind=kind, sweep=2)
+            assert spec.step == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ServingFaultSpec(kind="disk_full", sweep=1)
+
+    def test_core_spec_rejects_serving_kinds(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="kernel_error", sweep=1)
+
+    def test_single_builds_serving_spec(self):
+        plan = ServingFaultPlan.single("hang_step", sweep=3, seconds=1.5)
+        (spec,) = plan.specs
+        assert isinstance(spec, ServingFaultSpec)
+        assert spec.kind == "hang_step"
+        assert spec.seconds == 1.5
+
+    def test_injector_from_plan_none(self):
+        assert ServingFaultInjector.from_plan(None) is None
+
+    def test_seeded_layer_pick_deterministic(self):
+        plan = ServingFaultPlan(
+            specs=(ServingFaultSpec(kind="kernel_error", sweep=1),), seed=7
+        )
+        names = [f"blocks.{i}.mlp" for i in range(6)]
+        picks = set()
+        for _ in range(3):
+            injector = ServingFaultInjector(plan)
+            injector.arm(names)
+            injector.begin_step()
+            with pytest.raises(PaletteKernelError) as excinfo:
+                for name in names:
+                    injector.maybe_kernel_error(name)
+            picks.add(excinfo.value.layer)
+        assert len(picks) == 1
+        assert picks.pop() in names
+
+    def test_fires_at_first_opportunity_at_or_after_step(self):
+        plan = ServingFaultPlan.single("transient_step", sweep=3)
+        injector = ServingFaultInjector(plan)
+        injector.arm([])
+        injector.begin_step()
+        injector.maybe_transient()  # step 1: armed for >= 3, no fire
+        injector.begin_step()
+        injector.maybe_transient()
+        injector.begin_step()
+        with pytest.raises(TransientStepError):
+            injector.maybe_transient()
+        injector.maybe_transient()  # times=1 consumed
+        assert len(injector.log.events) == 1
+
+
+class TestServerRequestIdempotent:
+    def test_first_complete_wins(self):
+        request = ServerRequest("p", 4)
+        assert request.complete("done") is True
+        assert request.fail(RuntimeError("late")) is False
+        assert request.complete("again") is False
+        assert request.result(timeout=1) == "done"
+        assert request.ok
+
+    def test_first_fail_wins(self):
+        request = ServerRequest("p", 4)
+        error = StepFailed("boom")
+        assert request.fail(error) is True
+        assert request.complete("late") is False
+        with pytest.raises(StepFailed):
+            request.result(timeout=1)
+        assert request.error is error
+
+
+class TestTileCacheDigest:
+    def _tile(self):
+        return np.arange(12, dtype=np.float32).reshape(3, 4)
+
+    def test_roundtrip_clean(self):
+        cache = TileCache()
+        cache.put(("layer", 0, 0), self._tile())
+        got = cache.get(("layer", 0, 0))
+        np.testing.assert_array_equal(got, self._tile())
+        assert cache.stats.corruptions == 0
+
+    def test_corrupt_one_poisons_and_get_detects(self):
+        cache = TileCache()
+        cache.put(("layer", 0, 0), self._tile())
+        assert cache.corrupt_one(("layer",)) is True
+        with pytest.raises(CorruptTileError) as excinfo:
+            cache.get(("layer", 0, 0))
+        assert excinfo.value.layer == "layer"
+        assert cache.stats.corruptions == 1
+        # The poisoned entry was dropped: next get is a clean miss.
+        assert cache.get(("layer", 0, 0)) is None
+        assert cache.resident_bytes() == 0
+
+    def test_corrupt_one_no_match(self):
+        cache = TileCache()
+        cache.put(("layer", 0, 0), self._tile())
+        assert cache.corrupt_one(("other",)) is False
+
+    def test_digest_checks_off_serves_rotten_tile(self):
+        cache = TileCache(digest_checks=False)
+        cache.put(("layer", 0, 0), self._tile())
+        assert cache.corrupt_one(("layer",)) is True
+        got = cache.get(("layer", 0, 0))  # undetected rot, by design
+        assert got is not None
+        assert cache.stats.corruptions == 0
+
+
+class TestStepCrashBoundary:
+    """Regression (seed bug): a step exception must not strand futures."""
+
+    def test_step_exception_fails_batch_promptly(
+        self, served_model, tokenizer, expected_texts, monkeypatch
+    ):
+        calls = {"n": 0}
+        import repro.serving.batcher as batcher_mod
+
+        real = batcher_mod.batched_last_logits
+
+        def exploding(model, windows, device=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("simulated forward crash")
+            return real(model, windows, device=device)
+
+        monkeypatch.setattr(batcher_mod, "batched_last_logits", exploding)
+        with PaletteServer(served_model, tokenizer, _config()) as server:
+            request = server.submit(PROMPTS[0])
+            # On the seed this raised TimeoutError: the scheduler thread
+            # died and the future was never resolved.
+            with pytest.raises(StepFailed) as excinfo:
+                request.result(timeout=5)
+            assert isinstance(excinfo.value.cause, RuntimeError)
+            assert server.running  # crash boundary: the loop survived
+            # and the server still serves correct tokens afterwards.
+            text = server.submit(PROMPTS[1]).result(timeout=30)
+            assert text == expected_texts[PROMPTS[1]]
+            assert server.stats().step_failures >= 1
+
+
+class TestStopJoinDeadline:
+    """Regression (seed bug): stop() must not deadlock on a hung step."""
+
+    def test_stop_escalates_past_hung_step(
+        self, served_model, tokenizer, monkeypatch
+    ):
+        release = threading.Event()
+        entered = threading.Event()
+        import repro.serving.batcher as batcher_mod
+
+        real = batcher_mod.batched_last_logits
+
+        def wedged(model, windows, device=None):
+            entered.set()
+            release.wait(timeout=60)
+            return real(model, windows, device=device)
+
+        monkeypatch.setattr(batcher_mod, "batched_last_logits", wedged)
+        server = PaletteServer(
+            served_model, tokenizer, _config(join_timeout_s=0.3)
+        )
+        try:
+            server.start()
+            request = server.submit(PROMPTS[0])
+            assert entered.wait(timeout=10)
+            begun = time.monotonic()
+            with pytest.warns(RobustnessWarning):
+                # On the seed this joined without a timeout: deadlock.
+                server.stop()
+            assert time.monotonic() - begun < 5.0
+            with pytest.raises(ServerClosed):
+                request.result(timeout=5)
+        finally:
+            release.set()
+            server.close()
+
+
+class TestInjectedFaults:
+    def test_transient_step_retried_to_identical_tokens(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single("transient_step", sweep=1),
+            max_step_retries=2,
+            step_retry_backoff_s=0.001,
+        )
+        with PaletteServer(served_model, tokenizer, config) as server:
+            texts = _serve_all(server)
+            assert texts == [expected_texts[p] for p in PROMPTS]
+            report = server.stats()
+            assert report.step_retries >= 1
+            assert report.step_failures == 0
+            events = server.fault_injector.log.events
+            assert [e.kind for e in events] == ["transient_step"]
+
+    def test_transient_exhausts_retries_to_step_failed(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single(
+                "transient_step", sweep=1, times=2
+            ),
+            max_step_retries=1,
+            step_retry_backoff_s=0.001,
+        )
+        with PaletteServer(served_model, tokenizer, config) as server:
+            request = server.submit(PROMPTS[0])
+            with pytest.raises(StepFailed) as excinfo:
+                request.result(timeout=10)
+            assert isinstance(excinfo.value.cause, TransientStepError)
+            # The loop survived; once the plan is spent, service resumes.
+            text = server.submit(PROMPTS[1]).result(timeout=30)
+            assert text == expected_texts[PROMPTS[1]]
+
+    def test_delay_step_completes_identically(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single(
+                "delay_step", sweep=2, seconds=0.05
+            ),
+        )
+        with PaletteServer(served_model, tokenizer, config) as server:
+            texts = _serve_all(server)
+            assert texts == [expected_texts[p] for p in PROMPTS]
+            events = server.fault_injector.log.events
+            assert [e.kind for e in events] == ["delay_step"]
+
+    def test_kernel_error_trips_breaker_identical_tokens(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single(
+                "kernel_error", sweep=1, times=2
+            ),
+            breaker_threshold=2,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            with PaletteServer(served_model, tokenizer, config) as server:
+                texts = _serve_all(server)
+                assert texts == [expected_texts[p] for p in PROMPTS]
+                report = server.stats()
+                assert report.breaker_trips == 1
+                assert report.degrade_bytes > 0
+                events = server.fault_injector.log.events
+                assert {e.kind for e in events} == {"kernel_error"}
+                assert len(events) == 2
+                tripped = events[0].layer
+                health = server.health()
+                assert health.breakers[tripped].state == OPEN
+                module = server._module_for(tripped)
+                assert module is not None and module.eval_path == "dense"
+
+    def test_corrupt_tile_detected_and_recovered(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single("corrupt_tile", sweep=2),
+        )
+        with PaletteServer(served_model, tokenizer, config) as server:
+            texts = _serve_all(server)
+            assert texts == [expected_texts[p] for p in PROMPTS]
+            events = server.fault_injector.log.events
+            assert [e.kind for e in events] == ["corrupt_tile"]
+            assert server.tile_cache.stats.corruptions >= 1
+            # One digest failure is below the default threshold: counted,
+            # not tripped.
+            assert server.stats().breaker_trips == 0
+
+    def test_hang_step_watchdog_respawns_loop(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single(
+                "hang_step", sweep=1, seconds=30.0
+            ),
+            step_timeout_s=0.15,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            with PaletteServer(served_model, tokenizer, config) as server:
+                hung = server.submit(PROMPTS[0])
+                with pytest.raises(StepFailed) as excinfo:
+                    hung.result(timeout=10)
+                assert "step_timeout_s" in str(excinfo.value)
+                # The respawned loop serves, and the spent hang spec does
+                # not re-fire.
+                text = server.submit(PROMPTS[1]).result(timeout=30)
+                assert text == expected_texts[PROMPTS[1]]
+                report = server.stats()
+                assert report.watchdog_kills >= 1
+                assert report.loop_respawns >= 1
+                health = server.health()
+                assert health.respawns >= 1
+                assert health.generation >= 2
+
+    def test_respawn_budget_exhaustion_kills_server(
+        self, served_model, tokenizer
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single(
+                "hang_step", sweep=1, times=3, seconds=30.0
+            ),
+            step_timeout_s=0.1,
+            max_loop_respawns=0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            server = PaletteServer(served_model, tokenizer, config)
+            try:
+                server.start()
+                hung = server.submit(PROMPTS[0])
+                with pytest.raises(StepFailed):
+                    hung.result(timeout=10)
+                deadline = time.monotonic() + 5
+                while not server.health().dead and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                health = server.health()
+                assert health.dead
+                assert not health.accepting
+                with pytest.raises(ServerClosed):
+                    server.submit(PROMPTS[1])
+                begun = time.monotonic()
+                server.stop()
+                assert time.monotonic() - begun < 10.0
+            finally:
+                server.close()
+
+
+class TestBreakerBoard:
+    def test_counts_below_threshold(self):
+        board = BreakerBoard(threshold=3, probation_steps=4)
+        assert board.note_failure("a") == "count"
+        assert board.note_failure("a") == "count"
+        assert board.states()["a"].consecutive_failures == 2
+
+    def test_clean_step_resets_closed_counter(self):
+        board = BreakerBoard(threshold=3, probation_steps=4)
+        board.note_failure("a")
+        board.note_clean_step()
+        assert board.states()["a"].consecutive_failures == 0
+
+    def test_trip_at_threshold(self):
+        board = BreakerBoard(threshold=2, probation_steps=3)
+        board.note_failure("a")
+        assert board.note_failure("a") == "trip"
+        snap = board.states()["a"]
+        assert snap.state == OPEN
+        assert snap.trips == 1
+        assert board.open_layers() == ["a"]
+
+    def test_probation_promotes_then_closes(self):
+        board = BreakerBoard(threshold=1, probation_steps=2)
+        assert board.note_failure("a") == "trip"
+        assert board.note_clean_step() == []
+        assert board.note_clean_step() == ["a"]
+        assert board.states()["a"].state == HALF_OPEN
+        assert board.note_clean_step() == []
+        snap = board.states()["a"]
+        assert snap.state == CLOSED
+        assert snap.repromotions == 1
+
+    def test_half_open_failure_retrips_with_doubled_probation(self):
+        board = BreakerBoard(threshold=1, probation_steps=2)
+        board.note_failure("a")
+        board.note_clean_step()
+        board.note_clean_step()  # promoted to half-open
+        assert board.note_failure("a") == "retrip"
+        assert board.states()["a"].probation_remaining == 4
+
+    def test_probation_doubling_caps_at_8x(self):
+        board = BreakerBoard(threshold=1, probation_steps=2)
+        for _ in range(6):  # flap: trip, serve probation, fail the probe
+            action = board.note_failure("a")
+            assert action in ("trip", "retrip")
+            while board.states()["a"].state == OPEN:
+                board.note_clean_step()
+        board.note_failure("a")
+        assert board.states()["a"].probation_remaining <= 16
+
+    def test_failure_while_open_is_inert(self):
+        board = BreakerBoard(threshold=1, probation_steps=8)
+        board.note_failure("a")
+        assert board.note_failure("a") == "open"
+        assert board.states()["a"].trips == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerBoard(threshold=0, probation_steps=1)
+        with pytest.raises(ValueError):
+            BreakerBoard(threshold=1, probation_steps=0)
+
+
+class TestBreakerRepromotion:
+    def test_tripped_layer_repromoted_after_probation(
+        self, served_model, tokenizer, expected_texts
+    ):
+        config = _config(
+            fault_plan=ServingFaultPlan.single("kernel_error", sweep=1),
+            breaker_threshold=1,
+            breaker_probation_steps=2,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            with PaletteServer(served_model, tokenizer, config) as server:
+                texts = _serve_all(server)
+                assert texts == [expected_texts[p] for p in PROMPTS]
+                tripped = server.fault_injector.log.events[0].layer
+                report = server.stats()
+                assert report.breaker_trips == 1
+                # MAX_NEW * len(PROMPTS) steps comfortably cover a
+                # 2-step probation plus the closing probe step.
+                assert report.breaker_repromotions == 1
+                health = server.health()
+                assert health.breakers[tripped].state == CLOSED
+                module = server._module_for(tripped)
+                assert module is not None and module.eval_path == "palette"
+
+
+class TestDrainAndHealth:
+    def test_drain_completes_inflight_work(
+        self, served_model, tokenizer, expected_texts
+    ):
+        with PaletteServer(served_model, tokenizer, _config()) as server:
+            requests = [server.submit(p) for p in PROMPTS]
+            server.stop(drain=True)
+            texts = [r.result(timeout=1) for r in requests]
+            assert texts == [expected_texts[p] for p in PROMPTS]
+            assert len(server.queue) == 0
+            assert server.stats().completed == len(PROMPTS)
+
+    def test_draining_server_refuses_admission(
+        self, served_model, tokenizer
+    ):
+        server = PaletteServer(served_model, tokenizer, _config())
+        try:
+            server.start()
+            server.supervisor.start_draining()
+            with pytest.raises(ServerClosed):
+                server.submit(PROMPTS[0])
+        finally:
+            server.close()
+
+    def test_health_snapshot_shape(self, served_model, tokenizer):
+        server = PaletteServer(served_model, tokenizer, _config())
+        health = server.health()
+        assert not health.running and not health.accepting
+        try:
+            server.start()
+            health = server.health()
+            assert health.running and health.accepting
+            assert not health.dead and not health.stalled
+            assert health.generation == 1
+            assert health.queue_depth == 0
+            payload = health.to_dict()
+            assert payload["running"] is True
+            assert isinstance(payload["breakers"], dict)
+        finally:
+            server.close()
+        assert not server.health().running
+
+    def test_submit_on_stopped_server_raises(self, served_model, tokenizer):
+        server = PaletteServer(served_model, tokenizer, _config())
+        server.start()
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.submit(PROMPTS[0])
+
+
+class TestServingConfigContract:
+    def test_round_trip_includes_robustness_knobs(self):
+        config = _config(
+            step_timeout_s=1.5,
+            max_step_retries=3,
+            breaker_threshold=4,
+            breaker_probation_steps=9,
+            tile_digest_checks=False,
+            join_timeout_s=2.0,
+            drain_timeout_s=3.0,
+        )
+        payload = config.to_dict()
+        assert "fault_plan" not in payload
+        assert payload["step_timeout_s"] == 1.5
+        assert payload["breaker_threshold"] == 4
+        assert ServingConfig.from_dict(payload) == config
+
+    def test_armed_fault_plan_refuses_to_serialize(self):
+        config = _config(
+            fault_plan=ServingFaultPlan.single("delay_step", sweep=1)
+        )
+        with pytest.raises(ValueError, match="disarm"):
+            config.to_dict()
+
+    def test_fault_plan_type_validated(self):
+        with pytest.raises(ValueError, match="fault_plan"):
+            _config(fault_plan="hang_step")
+
+    def test_knob_validation(self):
+        for bad in (
+            dict(step_timeout_s=0.0),
+            dict(max_step_retries=-1),
+            dict(step_retry_backoff_s=-0.1),
+            dict(max_loop_respawns=-1),
+            dict(join_timeout_s=0.0),
+            dict(drain_timeout_s=0.0),
+            dict(breaker_threshold=0),
+            dict(breaker_probation_steps=0),
+        ):
+            with pytest.raises(ValueError):
+                _config(**bad)
+
+
+class TestConcurrentChaos:
+    def test_concurrent_clients_with_faults_no_stranded_futures(
+        self, served_model, tokenizer, expected_texts
+    ):
+        plan = ServingFaultPlan(
+            specs=(
+                ServingFaultSpec(kind="transient_step", sweep=2),
+                ServingFaultSpec(kind="corrupt_tile", sweep=3),
+                ServingFaultSpec(kind="delay_step", sweep=4, seconds=0.02),
+            )
+        )
+        config = _config(
+            fault_plan=plan,
+            max_step_retries=2,
+            step_retry_backoff_s=0.001,
+        )
+        results: dict[int, str | BaseException] = {}
+        lock = threading.Lock()
+
+        def client(idx: int, server: PaletteServer) -> None:
+            prompt = PROMPTS[idx % len(PROMPTS)]
+            try:
+                text = server.submit(prompt).result(timeout=30)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    results[idx] = exc
+            else:
+                with lock:
+                    results[idx] = text
+
+        with PaletteServer(served_model, tokenizer, config) as server:
+            threads = [
+                threading.Thread(target=client, args=(i, server))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive(), "client stranded"
+            injector = server.fault_injector
+            assert {e.kind for e in injector.log.events} == {
+                "transient_step",
+                "corrupt_tile",
+                "delay_step",
+            }
+        assert len(results) == 8
+        for idx, outcome in results.items():
+            assert not isinstance(outcome, BaseException), outcome
+            assert outcome == expected_texts[PROMPTS[idx % len(PROMPTS)]]
+
+
+class TestLedgerIsolation:
+    def test_degrade_bytes_excluded_from_traffic_split(
+        self, served_model, tokenizer
+    ):
+        ledger = TrafficLedger()
+        config = _config(
+            fault_plan=ServingFaultPlan.single("kernel_error", sweep=1),
+            breaker_threshold=1,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RobustnessWarning)
+            with PaletteServer(
+                served_model, tokenizer, config, ledger=ledger
+            ) as server:
+                _serve_all(server, PROMPTS[:2])
+                report = server.stats()
+        assert report.degrade_bytes > 0
+        degrade_total = sum(
+            t.nbytes for t in ledger.transfers() if t.tag == "serve:degrade"
+        )
+        assert report.degrade_bytes == degrade_total
+        assert report.weight_bytes_read > 0
+        # Weight/activation tallies must not double-count the audit trail.
+        serve_total = sum(
+            t.nbytes
+            for t in ledger.transfers()
+            if t.tag.startswith("serve:") and t.tag != "serve:degrade"
+        )
+        assert report.weight_bytes_read + report.activation_bytes == serve_total
+
+
+class TestChaosBenchHelpers:
+    """Unit tests for the chaos benchmark's pure pieces.
+
+    The end-to-end matrix runs in ``benchmarks/bench_serving_faults.py``
+    (CI smoke); these cover the plan/config factories and the gate
+    arithmetic in ``to_json_dict`` without training a model.
+    """
+
+    def _row(self, **overrides):
+        from repro.bench.serving_faults import ChaosScenarioRow
+
+        base = dict(
+            scenario="transient_step-c1",
+            kind="transient_step",
+            clients=1,
+            submitted=4,
+            completed=4,
+            client_retries=0,
+            tokens_identical=True,
+            stranded=False,
+            stop_s=0.01,
+            wall_s=0.5,
+        )
+        base.update(overrides)
+        return ChaosScenarioRow(**base)
+
+    def test_plan_for_every_kind_is_armed_and_single_spec(self):
+        from repro.bench.serving_faults import CHAOS_KINDS, _plan_for
+
+        for kind in CHAOS_KINDS:
+            plan = _plan_for(kind, seed=3)
+            assert len(plan.specs) == 1
+            assert plan.specs[0].kind == kind
+            assert plan.seed == 3
+
+    def test_plan_for_unknown_kind_raises(self):
+        from repro.bench.serving_faults import _plan_for
+
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            _plan_for("segfault", seed=0)
+
+    def test_config_for_arms_watchdog_only_for_hangs(self):
+        from repro.bench.serving_faults import _config_for, _plan_for
+
+        hang = _config_for("hang_step", _plan_for("hang_step", 0), 4)
+        assert hang.step_timeout_s is not None
+        assert hang.fault_plan is not None
+        quiet = _config_for("delay_step", _plan_for("delay_step", 0), 4)
+        assert quiet.step_timeout_s is None
+        # The kernel cell pins threshold=1 so one fire must trip.
+        kernel = _config_for("kernel_error", _plan_for("kernel_error", 0), 4)
+        assert kernel.breaker_threshold == 1
+
+    def test_to_json_dict_gates_reflect_rows(self):
+        from repro.bench.serving_faults import ChaosBenchResult
+
+        good = ChaosBenchResult(rows=[self._row()])
+        payload = good.to_json_dict()
+        assert payload["benchmark"] == "serving_faults"
+        assert payload["tokens_identical"]
+        assert payload["faults_reconciled"]
+        assert payload["no_stranded_futures"]
+        assert payload["shutdown_bounded"]
+
+        bad = ChaosBenchResult(
+            rows=[
+                self._row(tokens_identical=False),
+                self._row(scenario="hang_step-c4", stranded=True),
+                self._row(scenario="kernel_error-c1", unfired_specs=1),
+                self._row(scenario="corrupt_tile-c1", stop_s=1e9),
+            ]
+        )
+        payload = bad.to_json_dict()
+        assert not payload["tokens_identical"]
+        assert not payload["faults_reconciled"]
+        assert not payload["no_stranded_futures"]
+        assert not payload["shutdown_bounded"]
+
+    def test_breaker_summary_sums_only_breaker_rows(self):
+        from repro.bench.serving_faults import ChaosBenchResult
+
+        result = ChaosBenchResult(
+            rows=[
+                self._row(
+                    scenario="kernel_error-c1",
+                    breaker_trips=2,
+                    breaker_repromotions=1,
+                ),
+                self._row(
+                    scenario="breaker-repromotion",
+                    breaker_trips=1,
+                    breaker_repromotions=1,
+                ),
+            ],
+            breaker_final_states_closed=True,
+        )
+        payload = result.to_json_dict()
+        assert payload["breaker"]["trips"] == 3
+        # Only the breaker scenario's repromotions count toward the gate:
+        # matrix cells may trip without ever re-promoting.
+        assert payload["breaker"]["repromotions"] == 1
+        assert payload["breaker"]["final_states_closed"]
+
+    def test_reconcile_faults_counts_events_and_unfired_specs(
+        self, served_model, tokenizer
+    ):
+        from repro.bench.serving_faults import _reconcile_faults
+
+        plan = ServingFaultPlan(
+            specs=(
+                ServingFaultSpec(kind="transient_step", sweep=1, times=1),
+                ServingFaultSpec(kind="delay_step", sweep=999),
+            ),
+            seed=0,
+        )
+        config = _config(fault_plan=plan, max_step_retries=2)
+        with PaletteServer(served_model, tokenizer, config) as server:
+            _serve_all(server, PROMPTS[:1])
+            events, unfired = _reconcile_faults(server, plan)
+        assert events.get("transient_step", 0) == 1
+        assert unfired == 1  # the sweep-999 spec never fired
+        # No plan at all: nothing to reconcile.
+        with PaletteServer(served_model, tokenizer, _config()) as server:
+            _serve_all(server, PROMPTS[:1])
+            events, unfired = _reconcile_faults(server, None)
+        assert events == {}
+        assert unfired == 0

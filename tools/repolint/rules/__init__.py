@@ -14,7 +14,10 @@ from tools.repolint.rules.determinism import (
     ModuleLevelRandomRule,
     SetIterationRule,
 )
-from tools.repolint.rules.lifecycle import ResourceLifecycleRule
+from tools.repolint.rules.lifecycle import (
+    JoinTimeoutRule,
+    ResourceLifecycleRule,
+)
 from tools.repolint.rules.locks import LockDisciplineRule, LockHelperCallRule
 from tools.repolint.rules.versions import CopytoVersionRule, VersionBumpRule
 
@@ -28,6 +31,7 @@ ALL_RULES: tuple[Rule, ...] = (
     KernelClockRule(),
     SetIterationRule(),
     ResourceLifecycleRule(),
+    JoinTimeoutRule(),
 )
 
 META_RULE_IDS = ("RL001", "RL002")

@@ -50,6 +50,8 @@ DEFAULT_MODULES = (
     "repro.serving.queue",
     "repro.serving.palette",
     "repro.serving.stats",
+    "repro.serving.breaker",
+    "repro.serving.server",
 )
 
 
